@@ -1,0 +1,45 @@
+package realisticfd_test
+
+import (
+	"io"
+	"testing"
+
+	"realisticfd/internal/experiments"
+)
+
+// One benchmark per experiment table (DESIGN.md §4). Each iteration
+// regenerates the table at one seed per scenario; run with
+//
+//	go test -bench=. -benchmem
+//
+// to time the full reproduction pipeline, or use cmd/experiments for
+// the human-readable tables.
+
+func benchTable(b *testing.B, gen func(int) *experiments.Table) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := gen(1)
+		t.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkE1Totality(b *testing.B) { benchTable(b, experiments.E1Totality) }
+
+func BenchmarkE2Adversary(b *testing.B) { benchTable(b, experiments.E2Adversary) }
+
+func BenchmarkE3Reduction(b *testing.B) { benchTable(b, experiments.E3Reduction) }
+
+func BenchmarkE4TRB(b *testing.B) { benchTable(b, experiments.E4TRB) }
+
+func BenchmarkE5Marabout(b *testing.B) { benchTable(b, experiments.E5Marabout) }
+
+func BenchmarkE6PartialPerfect(b *testing.B) { benchTable(b, experiments.E6PartialPerfect) }
+
+func BenchmarkE7Collapse(b *testing.B) { benchTable(b, experiments.E7Collapse) }
+
+func BenchmarkE8MajorityCrossover(b *testing.B) { benchTable(b, experiments.E8MajorityCrossover) }
+
+func BenchmarkE9QoS(b *testing.B) {
+	benchTable(b, func(int) *experiments.Table { return experiments.E9QoS() })
+}

@@ -1,0 +1,49 @@
+// Command experiments regenerates every experiment table E1–E9 (the
+// executable forms of the paper's lemmas, propositions and remarks;
+// see DESIGN.md §4 for the index and EXPERIMENTS.md for the recorded
+// expected-vs-measured outcomes).
+//
+// Usage:
+//
+//	go run ./cmd/experiments            # all experiments, 5 seeds each
+//	go run ./cmd/experiments -seeds 20  # heavier sweep
+//	go run ./cmd/experiments -only E3   # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"realisticfd/internal/experiments"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 5, "seeds per experiment scenario")
+	only := flag.String("only", "", "run a single experiment (E1..E9)")
+	flag.Parse()
+
+	gens := map[string]func(int) *experiments.Table{
+		"E1": experiments.E1Totality,
+		"E2": experiments.E2Adversary,
+		"E3": experiments.E3Reduction,
+		"E4": experiments.E4TRB,
+		"E5": experiments.E5Marabout,
+		"E6": experiments.E6PartialPerfect,
+		"E7": experiments.E7Collapse,
+		"E8": experiments.E8MajorityCrossover,
+		"E9": func(int) *experiments.Table { return experiments.E9QoS() },
+	}
+
+	if *only != "" {
+		gen, ok := gens[strings.ToUpper(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9)\n", *only)
+			os.Exit(2)
+		}
+		gen(*seeds).Fprint(os.Stdout)
+		return
+	}
+	experiments.RunAll(os.Stdout, *seeds)
+}

@@ -1,0 +1,236 @@
+// Command fdsim runs one simulated execution of a chosen agreement
+// algorithm under a chosen failure-detector oracle and failure
+// pattern, then audits it against its specification and the paper's
+// totality property.
+//
+// Examples:
+//
+//	go run ./cmd/fdsim -algo sflooding -fd perfect -crash p2@40,p5@120
+//	go run ./cmd/fdsim -algo rotating -fd diamond-s -crash p1@5,p2@6,p3@7
+//	go run ./cmd/fdsim -algo trb -fd perfect -crash p3@60
+//	go run ./cmd/fdsim -algo partial -fd p-less -crash p1@30 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"realisticfd/internal/abcast"
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/core"
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+	"realisticfd/internal/trb"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "sflooding", "algorithm: sflooding|rotating|marabout|partial|trb|abcast")
+		oracle  = flag.String("fd", "perfect", "detector: perfect|scribe|marabout|strong|diamond-s|diamond-p|p-less")
+		n       = flag.Int("n", 5, "system size (4..64)")
+		crash   = flag.String("crash", "", "crash list, e.g. p2@40,p5@120")
+		seed    = flag.Int64("seed", 1, "scheduler seed")
+		horizon = flag.Int64("horizon", 60000, "max global-clock ticks")
+		waves   = flag.Int("waves", 2, "TRB waves (trb only)")
+		verbose = flag.Bool("v", false, "dump decisions/deliveries as they happen")
+	)
+	flag.Parse()
+
+	pat, err := parsePattern(*n, *crash)
+	if err != nil {
+		fatal(err)
+	}
+	orc, err := parseOracle(*oracle)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("algo=%s fd=%s n=%d seed=%d\npattern: %v\n\n", *algo, orc.Name(), *n, *seed, pat)
+
+	cfg := sim.Config{
+		N: *n, Oracle: orc, Pattern: pat,
+		Horizon: model.Time(*horizon), Seed: *seed,
+		Policy: &sim.RandomFairPolicy{},
+	}
+	props := consensus.DistinctProposals(*n)
+
+	switch *algo {
+	case "sflooding":
+		cfg.Automaton = consensus.SFlooding{Proposals: props}
+		cfg.StopWhen = sim.CorrectDecided(0)
+	case "rotating":
+		cfg.Automaton = consensus.Rotating{Proposals: props}
+		cfg.StopWhen = sim.CorrectDecided(0)
+	case "marabout":
+		cfg.Automaton = consensus.MaraboutConsensus{Proposals: props}
+		cfg.StopWhen = sim.CorrectDecided(0)
+	case "partial":
+		cfg.Automaton = consensus.PartialOrder{Proposals: props}
+		cfg.StopWhen = sim.CorrectDecided(0)
+	case "trb":
+		cfg.Automaton = trb.Broadcast{Waves: *waves}
+	case "abcast":
+		cfg.Automaton = abcast.Atomic{ToBroadcast: abcastScript(*n), MaxInstances: 30}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	tr, err := sim.Execute(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("run: %v\n\n", tr)
+
+	switch *algo {
+	case "trb":
+		reportTRB(tr, *waves, *verbose)
+	case "abcast":
+		reportAbcast(tr, abcastScript(*n), *verbose)
+	default:
+		reportConsensus(tr, pat, props, *verbose)
+	}
+}
+
+// abcastScript gives each process two messages to broadcast.
+func abcastScript(n int) map[model.ProcessID][]string {
+	sc := make(map[model.ProcessID][]string, n)
+	for p := 1; p <= n; p++ {
+		id := model.ProcessID(p)
+		sc[id] = []string{
+			fmt.Sprintf("%v/update-0", id),
+			fmt.Sprintf("%v/update-1", id),
+		}
+	}
+	return sc
+}
+
+func reportAbcast(tr *sim.Trace, sc map[model.ProcessID][]string, verbose bool) {
+	report("total order", abcast.CheckTotalOrder(tr))
+	report("agreement", abcast.CheckAgreement(tr))
+	report("validity", abcast.CheckValidity(tr, sc))
+	report("integrity", abcast.CheckIntegrity(tr, sc))
+	if verbose {
+		for p, seq := range abcast.Sequences(tr) {
+			fmt.Printf("\n%v delivered:", p)
+			for _, d := range seq {
+				fmt.Printf(" %v", d.ID)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func reportConsensus(tr *sim.Trace, pat *model.FailurePattern, props consensus.Proposals, verbose bool) {
+	o, err := consensus.ExtractOutcome(tr, 0)
+	if err != nil {
+		fatal(err)
+	}
+	for p := model.ProcessID(1); int(p) <= tr.N; p++ {
+		if v, ok := o.Decided[p]; ok {
+			fmt.Printf("  %v decided %q at t=%d\n", p, v, o.DecidedAt[p])
+		} else if pat.Correct().Has(p) {
+			fmt.Printf("  %v did not decide (blocked)\n", p)
+		} else {
+			fmt.Printf("  %v crashed undecided\n", p)
+		}
+	}
+	fmt.Println()
+	report("termination", o.CheckTermination(pat))
+	report("uniform agreement", o.CheckUniformAgreement())
+	report("validity", o.CheckValidity(props))
+	if v := core.CheckTotality(tr, 0); v == nil {
+		fmt.Println("  totality (§4.2)     ✓ every decision consulted every live process")
+	} else {
+		fmt.Printf("  totality (§4.2)     ✗ %v\n", v)
+	}
+	if verbose {
+		fmt.Println("\ndecision events:")
+		for _, d := range tr.Decisions(0) {
+			fmt.Printf("  t=%5d %v → %v (causal contributors %v)\n",
+				d.T, d.P, d.Value, tr.Contributors(d.EventIndex))
+		}
+	}
+}
+
+func reportTRB(tr *sim.Trace, waves int, verbose bool) {
+	report("termination", trb.CheckTermination(tr, waves))
+	report("agreement", trb.CheckAgreement(tr))
+	report("validity", trb.CheckValidity(tr, waves, nil))
+	report("integrity", trb.CheckIntegrity(tr, nil))
+	report("nil-accuracy", trb.CheckNilAccuracy(tr))
+	if verbose {
+		fmt.Println("\ndeliveries at p1:")
+		for id, m := range trb.Deliveries(tr) {
+			init, k := trb.SplitInstanceID(id)
+			if d, ok := m[1]; ok {
+				fmt.Printf("  (%v,%d) → %q\n", init, k, d.Value)
+			}
+		}
+	}
+}
+
+func report(name string, err error) {
+	if err != nil {
+		fmt.Printf("  %-19s ✗ %v\n", name, err)
+		return
+	}
+	fmt.Printf("  %-19s ✓\n", name)
+}
+
+func parsePattern(n int, spec string) (*model.FailurePattern, error) {
+	pat, err := model.NewFailurePattern(n)
+	if err != nil {
+		return nil, err
+	}
+	if spec == "" {
+		return pat, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(part, "p"))
+		pc := strings.SplitN(part, "@", 2)
+		if len(pc) != 2 {
+			return nil, fmt.Errorf("bad crash spec %q (want pID@time)", part)
+		}
+		id, err := strconv.Atoi(pc[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad process in %q: %w", part, err)
+		}
+		at, err := strconv.ParseInt(pc[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time in %q: %w", part, err)
+		}
+		if err := pat.Crash(model.ProcessID(id), model.Time(at)); err != nil {
+			return nil, err
+		}
+	}
+	return pat, nil
+}
+
+func parseOracle(name string) (fd.Oracle, error) {
+	switch name {
+	case "perfect":
+		return fd.Perfect{Delay: 2}, nil
+	case "scribe":
+		return fd.Scribe{}, nil
+	case "marabout":
+		return fd.Marabout{}, nil
+	case "strong":
+		return fd.RealisticStrong{BaseDelay: 1, Seed: 7, JitterMax: 4}, nil
+	case "diamond-s":
+		return fd.EventuallyStrong{GST: 100, Delay: 3, Seed: 7, FalseRate: 10}, nil
+	case "diamond-p":
+		return fd.EventuallyPerfect{GST: 100, Delay: 3, Seed: 7, FalseRate: 10}, nil
+	case "p-less":
+		return fd.PartiallyPerfect{Delay: 2}, nil
+	default:
+		return nil, fmt.Errorf("unknown detector %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fdsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,28 @@
+// Package realisticfd is a full reproduction, as a Go library, of
+// C. Delporte-Gallet, H. Fauconnier and R. Guerraoui, "A Realistic
+// Look At Failure Detectors" (DSN 2002).
+//
+// The paper proves that with no bound on the number of crash failures,
+// the Perfect failure-detector class P is the weakest *realistic*
+// class (one that cannot guess the future) solving uniform consensus,
+// atomic broadcast and terminating reliable broadcast — collapsing the
+// Chandra-Toueg hierarchy and explaining why real systems build on
+// group membership services that emulate P.
+//
+// The implementation lives under internal/:
+//
+//   - model: failure patterns, histories, the realism predicate (§2–3)
+//   - fd: oracle detectors P, S, ◇S, ◇P, Scribe, Marabout, P< and
+//     class-property checkers
+//   - sim: the FLP+FD step simulator (§2.3–2.4) with causal-chain
+//     analysis and adversarial scheduling
+//   - consensus, abcast, trb: the agreement algorithms
+//   - core: totality audit, the T(D⇒P) reduction, the Lemma 4.1
+//     adversary, TRB⇒P, the §6.3 collapse witness
+//   - transport, heartbeat, qos, membership: the live substrate —
+//     heartbeats over sockets, QoS metrics, exclusion-based membership
+//   - experiments: the E1–E9 tables (see DESIGN.md and EXPERIMENTS.md)
+//
+// Entry points: cmd/fdsim, cmd/fdlive, cmd/experiments, and the
+// runnable walkthroughs under examples/.
+package realisticfd

@@ -1,0 +1,81 @@
+// Command generals runs Terminating Reliable Broadcast — the
+// crash-stop Byzantine Generals of §5 — with a Perfect detector:
+// five generals broadcast orders in waves; one general is struck down
+// mid-campaign and the survivors deliver the paper's "specific nil
+// value" for its silent instances, all agreeing on every delivery.
+//
+// Run with: go run ./examples/generals
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+	"realisticfd/internal/trb"
+)
+
+func main() {
+	const (
+		n     = 5
+		waves = 2
+	)
+	orders := func(general model.ProcessID, wave int) consensus.Value {
+		return consensus.Value(fmt.Sprintf("attack-at-%02d00-from-%v", 6+wave, general))
+	}
+
+	// General p3 falls at t=60, early in the campaign.
+	pattern := model.MustPattern(n).MustCrash(3, 60)
+	fmt.Printf("pattern: %v\n\n", pattern)
+
+	trace, err := sim.Execute(sim.Config{
+		N:         n,
+		Automaton: trb.Broadcast{Waves: waves, Script: orders},
+		Oracle:    fd.Perfect{Delay: 2},
+		Pattern:   pattern,
+		Horizon:   60000,
+		Seed:      7,
+		Policy:    &sim.RandomFairPolicy{},
+		StopWhen: func(tr *sim.Trace) bool {
+			dels := trb.Deliveries(tr)
+			for init := 1; init <= n; init++ {
+				for k := 0; k < waves; k++ {
+					m := dels[trb.InstanceID(model.ProcessID(init), k)]
+					for _, p := range tr.Pattern.Correct().Slice() {
+						if _, ok := m[p]; !ok {
+							return false
+						}
+					}
+				}
+			}
+			return true
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Print what p1 delivered, instance by instance.
+	dels := trb.Deliveries(trace)
+	for k := 0; k < waves; k++ {
+		for init := model.ProcessID(1); init <= n; init++ {
+			d, ok := dels[trb.InstanceID(init, k)][1]
+			if !ok {
+				continue
+			}
+			if d.IsNil() {
+				fmt.Printf("wave %d, general %v: ⊥ (general fell — every survivor delivers nil)\n", k, init)
+			} else {
+				fmt.Printf("wave %d, general %v: %q\n", k, init, d.Value)
+			}
+		}
+	}
+
+	if err := trb.CheckAll(trace, waves, orders); err != nil {
+		log.Fatalf("TRB specification violated: %v", err)
+	}
+	fmt.Println("\nTRB: termination ✓ agreement ✓ validity ✓ integrity ✓ nil-accuracy ✓")
+}

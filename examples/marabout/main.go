@@ -1,0 +1,77 @@
+// Command marabout reproduces §3.2.2 and §6.1: the Marabout failure
+// detector knows the future — its constant output is the set of
+// processes that will ever crash. It trivially solves consensus with
+// n−1 crashes, yet it is not realistic: the program exhibits the
+// exact two-pattern witness of §3.2.2 proving it cannot be
+// implemented even in a perfectly synchronous system, which is why
+// the paper's lower bound is stated within the realistic space.
+//
+// Run with: go run ./examples/marabout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+func main() {
+	const n = 5
+
+	// Part 1: Marabout solves consensus with n-1 crashes (§6.1).
+	pattern := model.MustPattern(n).
+		MustCrash(1, 30).MustCrash(2, 35).MustCrash(3, 40).MustCrash(4, 45)
+	proposals := consensus.DistinctProposals(n)
+	fmt.Printf("pattern: %v — only p5 survives\n", pattern)
+
+	trace, err := sim.Execute(sim.Config{
+		N:         n,
+		Automaton: consensus.MaraboutConsensus{Proposals: proposals},
+		Oracle:    fd.Marabout{},
+		Pattern:   pattern,
+		Horizon:   5000,
+		Seed:      3,
+		StopWhen:  sim.CorrectDecided(0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcome, err := consensus.ExtractOutcome(trace, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := outcome.CheckUniformSpec(pattern, proposals); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := outcome.DecidedValue()
+	fmt.Printf("consensus decided %q — the lowest *correct* process led, known from t=0\n\n", v)
+
+	// Part 2: ...but Marabout is not realistic (§3.2.2).
+	witness := fd.MaraboutWitness(n)
+	if witness == nil {
+		log.Fatal("expected a realism violation for Marabout")
+	}
+	fmt.Println("realism check (the §3.2.2 witness):")
+	fmt.Printf("  F1 = %v\n", witness.F)
+	fmt.Printf("  F2 = %v\n", witness.FPrime)
+	fmt.Printf("  the patterns agree through t=%d, yet already at t=%d process %v sees\n",
+		witness.Cut, witness.T, witness.P)
+	fmt.Printf("  %v in F1 but %v in F2 — Marabout distinguishes futures: NOT realistic\n\n",
+		witness.Out, witness.OutPrime)
+
+	// Part 3: contrast with the realistic oracles in this repository.
+	for _, o := range []fd.Oracle{fd.Perfect{Delay: 2}, fd.Scribe{}, fd.PartiallyPerfect{Delay: 2}} {
+		if vio := fd.CheckRealism(o, n, 100, 10); vio != nil {
+			log.Fatalf("%s unexpectedly non-realistic: %v", o.Name(), vio)
+		}
+		fmt.Printf("  %-14s realistic ✓\n", o.Name())
+	}
+	if vio := fd.CheckRealism(fd.Marabout{}, n, 100, 10); vio == nil {
+		log.Fatal("Marabout passed the realism check")
+	}
+	fmt.Printf("  %-14s realistic ✗ (guesses the future)\n", fd.Marabout{}.Name())
+}

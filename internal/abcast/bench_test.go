@@ -1,0 +1,39 @@
+package abcast
+
+import (
+	"testing"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+func BenchmarkAtomicBroadcast(b *testing.B) {
+	sc := script(5, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := sim.Execute(sim.Config{
+			N: 5, Automaton: Atomic{ToBroadcast: sc, MaxInstances: 30},
+			Oracle:  fd.Perfect{Delay: 2},
+			Pattern: model.MustPattern(5), Horizon: 120000, Seed: int64(i),
+			StopWhen: allDelivered(sc),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Stopped != sim.StopCondition {
+			b.Fatal("abcast incomplete")
+		}
+	}
+}
+
+func BenchmarkSetCodec(b *testing.B) {
+	ids := []MsgID{{1, 0}, {2, 3}, {4, 1}, {5, 9}, {3, 2}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := encodeSet(ids)
+		if _, err := decodeSet(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

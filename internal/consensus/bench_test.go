@@ -1,0 +1,45 @@
+package consensus
+
+import (
+	"testing"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+func benchConsensus(b *testing.B, aut sim.Automaton, oracle fd.Oracle) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pat := model.MustPattern(5).MustCrash(2, 40)
+		tr, err := sim.Execute(sim.Config{
+			N: 5, Automaton: aut, Oracle: oracle, Pattern: pat,
+			Horizon: 20000, Seed: int64(i),
+			Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Stopped != sim.StopCondition {
+			b.Fatal("consensus did not finish")
+		}
+	}
+}
+
+func BenchmarkSFloodingRun(b *testing.B) {
+	benchConsensus(b, SFlooding{Proposals: DistinctProposals(5)}, fd.Perfect{Delay: 2})
+}
+
+func BenchmarkRotatingRun(b *testing.B) {
+	benchConsensus(b, Rotating{Proposals: DistinctProposals(5)},
+		fd.EventuallyStrong{GST: 50, Delay: 2, Seed: 3, FalseRate: 10})
+}
+
+func BenchmarkPartialOrderRun(b *testing.B) {
+	benchConsensus(b, PartialOrder{Proposals: DistinctProposals(5)}, fd.PartiallyPerfect{Delay: 2})
+}
+
+func BenchmarkMaraboutRun(b *testing.B) {
+	benchConsensus(b, MaraboutConsensus{Proposals: DistinctProposals(5)}, fd.Marabout{})
+}

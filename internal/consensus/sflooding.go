@@ -1,0 +1,272 @@
+package consensus
+
+import (
+	"fmt"
+
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+// SFlooding is the Chandra-Toueg S-based consensus algorithm
+// (JACM 1996, Fig. 6.1 structure), the algorithm Proposition 4.3 cites
+// for the sufficient direction: it solves uniform consensus with any
+// number of crash failures given a Strong (a fortiori Perfect)
+// detector.
+//
+// Structure: n−1 asynchronous flooding rounds in which each process
+// broadcasts the proposals it newly learned and waits, for every
+// process q, until it receives q's round-r message or suspects q;
+// then one vector round exchanging the full estimate vectors V_p; each
+// process intersects its own vector with every vector received from a
+// non-suspected process and decides the value of the lowest-indexed
+// entry of the intersection.
+//
+// With weak accuracy (some correct c never suspected), every process
+// waits for c in every round, every final vector contains V_c, and
+// every intersection equals V_c exactly — so even processes that crash
+// after deciding decided the same value: uniform agreement.
+//
+// Run with a detector that never suspects alive processes, every round
+// consults every alive process, making the algorithm total (§4.2);
+// that is measured, not assumed, by experiment E1.
+type SFlooding struct {
+	Proposals Proposals
+}
+
+var _ sim.Automaton = SFlooding{}
+
+// Spawn implements sim.Automaton.
+func (a SFlooding) Spawn(self model.ProcessID, n int) sim.Process {
+	v := map[model.ProcessID]Value{self: a.Proposals[self]}
+	return &sfProc{
+		self:     self,
+		n:        n,
+		rounds:   n - 1,
+		round:    0, // bumped to 1 by the first step's progress loop
+		v:        v,
+		sent:     map[model.ProcessID]bool{},
+		received: make([]model.ProcessSet, n+1),
+		vectors:  map[model.ProcessID]map[model.ProcessID]Value{},
+	}
+}
+
+// sfPhase enumerates the S-flooding phases.
+type sfPhase int
+
+const (
+	sfFlood  sfPhase = iota // rounds 1..n-1
+	sfVector                // vector exchange
+	sfDone
+)
+
+// sfFloodMsg is the round-r flood message carrying newly learned
+// proposals (the Δ_p of Chandra-Toueg).
+type sfFloodMsg struct {
+	Round int
+	Delta map[model.ProcessID]Value
+}
+
+// sfVectorMsg carries the full estimate vector after the last round.
+type sfVectorMsg struct {
+	Vector map[model.ProcessID]Value
+}
+
+type sfProc struct {
+	self   model.ProcessID
+	n      int
+	rounds int
+
+	phase sfPhase
+	round int // current flood round, 1-based once started
+
+	v    map[model.ProcessID]Value // known proposals
+	sent map[model.ProcessID]bool  // proposal keys already broadcast
+
+	received    []model.ProcessSet // received[r] = round-r flood senders
+	vectors     map[model.ProcessID]map[model.ProcessID]Value
+	vecReceived model.ProcessSet
+}
+
+// Step implements sim.Process.
+func (p *sfProc) Step(in *sim.Message, susp model.ProcessSet, _ model.Time) sim.Actions {
+	var acts sim.Actions
+	if in != nil {
+		p.absorb(in)
+	}
+	if p.phase == sfDone {
+		return acts
+	}
+
+	// Progress loop: guards may already be satisfied by buffered
+	// messages, letting several transitions fire in one step.
+	for {
+		switch p.phase {
+		case sfFlood:
+			if p.round == 0 {
+				p.round = 1
+				acts.Sends = append(acts.Sends, p.floodSends()...)
+				continue
+			}
+			if !p.roundGuard(p.round, susp) {
+				return acts
+			}
+			if p.round < p.rounds {
+				p.round++
+				acts.Sends = append(acts.Sends, p.floodSends()...)
+				continue
+			}
+			p.phase = sfVector
+			acts.Sends = append(acts.Sends, p.vectorSends()...)
+			continue
+
+		case sfVector:
+			if !p.vectorGuard(susp) {
+				return acts
+			}
+			val, ok := p.decide(susp)
+			p.phase = sfDone
+			if ok {
+				acts.Events = append(acts.Events, sim.ProtocolEvent{
+					Kind: sim.KindDecide, Instance: 0, Value: val,
+				})
+			}
+			return acts
+
+		default:
+			return acts
+		}
+	}
+}
+
+// absorb merges an incoming message into local knowledge.
+func (p *sfProc) absorb(in *sim.Message) {
+	switch m := in.Payload.(type) {
+	case sfFloodMsg:
+		if m.Round >= 1 && m.Round <= p.rounds {
+			p.received[m.Round] = p.received[m.Round].Add(in.From)
+		}
+		for q, val := range m.Delta {
+			if _, ok := p.v[q]; !ok {
+				p.v[q] = val
+			}
+		}
+	case sfVectorMsg:
+		if _, ok := p.vectors[in.From]; !ok {
+			vec := make(map[model.ProcessID]Value, len(m.Vector))
+			for q, val := range m.Vector {
+				vec[q] = val
+			}
+			p.vectors[in.From] = vec
+			p.vecReceived = p.vecReceived.Add(in.From)
+		}
+	}
+}
+
+// floodSends broadcasts the newly learned proposals for the current
+// round to every other process and marks the round received from self.
+func (p *sfProc) floodSends() []sim.Send {
+	delta := make(map[model.ProcessID]Value)
+	for q, val := range p.v {
+		if !p.sent[q] {
+			p.sent[q] = true
+			delta[q] = val
+		}
+	}
+	p.received[p.round] = p.received[p.round].Add(p.self)
+	msg := sfFloodMsg{Round: p.round, Delta: delta}
+	sends := make([]sim.Send, 0, p.n-1)
+	for q := 1; q <= p.n; q++ {
+		if model.ProcessID(q) != p.self {
+			sends = append(sends, sim.Send{To: model.ProcessID(q), Payload: msg})
+		}
+	}
+	return sends
+}
+
+// vectorSends broadcasts the full vector and stores our own.
+func (p *sfProc) vectorSends() []sim.Send {
+	vec := make(map[model.ProcessID]Value, len(p.v))
+	for q, val := range p.v {
+		vec[q] = val
+	}
+	p.vectors[p.self] = vec
+	p.vecReceived = p.vecReceived.Add(p.self)
+	msg := sfVectorMsg{Vector: vec}
+	sends := make([]sim.Send, 0, p.n-1)
+	for q := 1; q <= p.n; q++ {
+		if model.ProcessID(q) != p.self {
+			sends = append(sends, sim.Send{To: model.ProcessID(q), Payload: msg})
+		}
+	}
+	return sends
+}
+
+// roundGuard is the §4 wait condition: for every process q, a round-r
+// message was received from q or q is currently suspected.
+func (p *sfProc) roundGuard(r int, susp model.ProcessSet) bool {
+	for q := 1; q <= p.n; q++ {
+		id := model.ProcessID(q)
+		if !p.received[r].Has(id) && !susp.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// vectorGuard waits for a vector from every non-suspected process.
+func (p *sfProc) vectorGuard(susp model.ProcessSet) bool {
+	for q := 1; q <= p.n; q++ {
+		id := model.ProcessID(q)
+		if !p.vecReceived.Has(id) && !susp.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// decide intersects the vectors received from non-suspected processes
+// (own vector included) and returns the value of the lowest-indexed
+// surviving entry. An empty intersection can only happen when the
+// detector lied (false suspicions partitioned knowledge); the paper's
+// S-based algorithm never encounters it, and the E2 adversary relies
+// on the fallback to the local estimate below.
+func (p *sfProc) decide(susp model.ProcessSet) (Value, bool) {
+	inter := make(map[model.ProcessID]Value, len(p.vectors[p.self]))
+	for q, val := range p.vectors[p.self] {
+		inter[q] = val
+	}
+	for q := 1; q <= p.n; q++ {
+		id := model.ProcessID(q)
+		vec, ok := p.vectors[id]
+		if !ok {
+			continue // suspected, no vector
+		}
+		for r := range inter {
+			if _, present := vec[r]; !present {
+				delete(inter, r)
+			}
+		}
+	}
+	if len(inter) == 0 {
+		// Degenerate fallback outside the S assumptions: decide own
+		// estimate (lowest-indexed known value).
+		return p.lowest(p.v)
+	}
+	return p.lowest(inter)
+}
+
+// lowest returns the value of the smallest process ID in the vector —
+// the "first non-⊥ entry" of Chandra-Toueg.
+func (p *sfProc) lowest(vec map[model.ProcessID]Value) (Value, bool) {
+	for q := 1; q <= p.n; q++ {
+		if val, ok := vec[model.ProcessID(q)]; ok {
+			return val, true
+		}
+	}
+	return NoValue, false
+}
+
+// String aids debugging.
+func (p *sfProc) String() string {
+	return fmt.Sprintf("sf{%v phase=%d round=%d v=%s}", p.self, p.phase, p.round, vecString(p.v))
+}

@@ -1,0 +1,177 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+// TestSFloodingRandomSweep is the safety-net property test: over many
+// random (pattern, seed) configurations, the full uniform
+// specification must hold. This is the E1/E3 substrate exercised far
+// beyond the curated scenarios.
+func TestSFloodingRandomSweep(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("random sweep")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	const runs = 60
+	for i := 0; i < runs; i++ {
+		n := 4 + rng.Intn(4) // 4..7
+		pat := model.MustPattern(n)
+		// Each process crashes with probability 1/3 at a time in
+		// [1, 400) — leaving possibly zero correct processes is fine
+		// for safety; keep at least one for termination checking.
+		var crashed int
+		for p := 1; p <= n; p++ {
+			if crashed < n-1 && rng.Intn(3) == 0 {
+				pat.MustCrash(model.ProcessID(p), model.Time(1+rng.Intn(400)))
+				crashed++
+			}
+		}
+		props := DistinctProposals(n)
+		tr, err := sim.Execute(sim.Config{
+			N: n, Automaton: SFlooding{Proposals: props},
+			Oracle:  fd.Perfect{Delay: model.Time(rng.Intn(5))},
+			Pattern: pat, Horizon: 30000, Seed: rng.Int63(),
+			Policy:   &sim.RandomFairPolicy{},
+			StopWhen: sim.CorrectDecided(0),
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if tr.Stopped != sim.StopCondition {
+			t.Fatalf("run %d: did not terminate (n=%d pattern=%v)", i, n, pat)
+		}
+		o, err := ExtractOutcome(tr, 0)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if err := o.CheckUniformSpec(pat, props); err != nil {
+			t.Fatalf("run %d (n=%d, %v): %v", i, n, pat, err)
+		}
+	}
+}
+
+// TestRotatingRandomSafetySweep hammers the ◇S algorithm with chaotic
+// crash patterns and noisy detectors: liveness may be lost, safety
+// never.
+func TestRotatingRandomSafetySweep(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("random sweep")
+	}
+	rng := rand.New(rand.NewSource(4242))
+	const runs = 50
+	for i := 0; i < runs; i++ {
+		n := 4 + rng.Intn(3)
+		pat := model.MustPattern(n)
+		for p := 1; p <= n; p++ {
+			if rng.Intn(2) == 0 { // aggressive: up to all crash
+				pat.MustCrash(model.ProcessID(p), model.Time(1+rng.Intn(600)))
+			}
+		}
+		props := DistinctProposals(n)
+		tr, err := sim.Execute(sim.Config{
+			N: n, Automaton: Rotating{Proposals: props},
+			Oracle: fd.EventuallyStrong{
+				GST: model.Time(rng.Intn(300)), Delay: 2,
+				Seed: rng.Uint64(), FalseRate: 5 + rng.Intn(30),
+			},
+			Pattern: pat, Horizon: 8000, Seed: rng.Int63(),
+			Policy: &sim.RandomFairPolicy{},
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		o, err := ExtractOutcome(tr, 0)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if err := o.CheckUniformAgreement(); err != nil {
+			t.Fatalf("run %d (n=%d, %v): %v", i, n, pat, err)
+		}
+		if err := o.CheckValidity(props); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}
+
+// TestRotatingLivenessSweep pins the two liveness regressions found
+// during development: (a) a coordinator must never abandon an
+// in-progress round when later coordinated rounds open, and (b) a
+// proposal arriving before the participant reaches its round must be
+// buffered, not dropped — in the paper's model the message would have
+// waited in the buffer (§2.3). Both bugs stalled roughly one run in
+// ten thousand, so this sweep runs wide and cheap.
+func TestRotatingLivenessSweep(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("wide sweep")
+	}
+	for seed := int64(0); seed < 4000; seed++ {
+		pat := model.MustPattern(5).MustCrash(2, 40)
+		tr, err := sim.Execute(sim.Config{
+			N: 5, Automaton: Rotating{Proposals: DistinctProposals(5)},
+			Oracle:  fd.EventuallyStrong{GST: 50, Delay: 2, Seed: 3, FalseRate: 10},
+			Pattern: pat, Horizon: 20000, Seed: seed,
+			Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Stopped != sim.StopCondition {
+			t.Fatalf("seed %d: rotating consensus stalled with majority alive", seed)
+		}
+	}
+}
+
+// TestPartialOrderRandomSweep checks the §6.2 algorithm's
+// correct-restricted guarantees over random configurations.
+func TestPartialOrderRandomSweep(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("random sweep")
+	}
+	rng := rand.New(rand.NewSource(99))
+	const runs = 50
+	for i := 0; i < runs; i++ {
+		n := 4 + rng.Intn(4)
+		pat := model.MustPattern(n)
+		var crashed int
+		for p := 1; p <= n; p++ {
+			if crashed < n-1 && rng.Intn(3) == 0 {
+				pat.MustCrash(model.ProcessID(p), model.Time(1+rng.Intn(300)))
+				crashed++
+			}
+		}
+		props := DistinctProposals(n)
+		tr, err := sim.Execute(sim.Config{
+			N: n, Automaton: PartialOrder{Proposals: props},
+			Oracle:  fd.PartiallyPerfect{Delay: model.Time(1 + rng.Intn(4))},
+			Pattern: pat, Horizon: 30000, Seed: rng.Int63(),
+			Policy:   &sim.RandomFairPolicy{},
+			StopWhen: sim.CorrectDecided(0),
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		o, err := ExtractOutcome(tr, 0)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if err := o.CheckTermination(pat); err != nil {
+			t.Fatalf("run %d (n=%d, %v): %v", i, n, pat, err)
+		}
+		if err := o.CheckAgreementAmongCorrect(pat); err != nil {
+			t.Fatalf("run %d (n=%d, %v): %v", i, n, pat, err)
+		}
+		if err := o.CheckValidity(props); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package consensus
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"realisticfd/internal/model"
+)
+
+// Wire codec for the S-flooding payloads, used by the live runtime
+// (internal/livecons) to ship the very same automaton that the
+// simulator verifies over real sockets. Only SFlooding payloads are
+// wire-encodable; the other algorithms are simulator-side
+// demonstrations.
+
+// wireEnvelope is the JSON frame: Kind discriminates the payload.
+type wireEnvelope struct {
+	Kind  string            `json:"kind"`
+	Round int               `json:"round,omitempty"`
+	Vals  map[string]string `json:"vals,omitempty"`
+}
+
+const (
+	wireKindFlood  = "flood"
+	wireKindVector = "vector"
+)
+
+// EncodeWire serializes an SFlooding payload.
+func EncodeWire(payload any) ([]byte, error) {
+	switch m := payload.(type) {
+	case sfFloodMsg:
+		return json.Marshal(wireEnvelope{
+			Kind:  wireKindFlood,
+			Round: m.Round,
+			Vals:  valsToWire(m.Delta),
+		})
+	case sfVectorMsg:
+		return json.Marshal(wireEnvelope{
+			Kind: wireKindVector,
+			Vals: valsToWire(m.Vector),
+		})
+	default:
+		return nil, fmt.Errorf("consensus: payload %T is not wire-encodable", payload)
+	}
+}
+
+// DecodeWire inverts EncodeWire.
+func DecodeWire(b []byte) (any, error) {
+	var env wireEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("consensus: bad wire payload: %w", err)
+	}
+	vals, err := valsFromWire(env.Vals)
+	if err != nil {
+		return nil, err
+	}
+	switch env.Kind {
+	case wireKindFlood:
+		return sfFloodMsg{Round: env.Round, Delta: vals}, nil
+	case wireKindVector:
+		return sfVectorMsg{Vector: vals}, nil
+	default:
+		return nil, fmt.Errorf("consensus: unknown wire kind %q", env.Kind)
+	}
+}
+
+func valsToWire(v map[model.ProcessID]Value) map[string]string {
+	out := make(map[string]string, len(v))
+	for p, val := range v {
+		out[strconv.Itoa(int(p))] = string(val)
+	}
+	return out
+}
+
+func valsFromWire(w map[string]string) (map[model.ProcessID]Value, error) {
+	out := make(map[model.ProcessID]Value, len(w))
+	for k, val := range w {
+		id, err := strconv.Atoi(k)
+		if err != nil || id < 1 || id > model.MaxProcesses {
+			return nil, fmt.Errorf("consensus: bad process key %q on the wire", k)
+		}
+		out[model.ProcessID(id)] = Value(val)
+	}
+	return out, nil
+}

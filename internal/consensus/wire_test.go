@@ -1,0 +1,93 @@
+package consensus
+
+import (
+	"testing"
+
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+func TestWireFloodRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := sfFloodMsg{
+		Round: 3,
+		Delta: map[model.ProcessID]Value{1: "v1", 4: "v4"},
+	}
+	b, err := EncodeWire(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeWire(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(sfFloodMsg)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if got.Round != 3 || len(got.Delta) != 2 || got.Delta[1] != "v1" || got.Delta[4] != "v4" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestWireVectorRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := sfVectorMsg{Vector: map[model.ProcessID]Value{2: "x"}}
+	b, err := EncodeWire(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeWire(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(sfVectorMsg)
+	if !ok || got.Vector[2] != "x" {
+		t.Fatalf("round trip = %+v (%T)", out, out)
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	if _, err := EncodeWire(42); err == nil {
+		t.Error("encoded a non-payload")
+	}
+	bad := [][]byte{
+		[]byte("not json"),
+		[]byte(`{"kind":"warp"}`),
+		[]byte(`{"kind":"flood","vals":{"zero":"v"}}`),
+		[]byte(`{"kind":"flood","vals":{"0":"v"}}`),
+		[]byte(`{"kind":"flood","vals":{"65":"v"}}`),
+	}
+	for _, b := range bad {
+		if _, err := DecodeWire(b); err == nil {
+			t.Errorf("DecodeWire(%s) accepted", b)
+		}
+	}
+}
+
+// TestWireRoundTripPreservesSimulatorBehaviour encodes and decodes a
+// payload and checks the automaton absorbs the decoded copy exactly
+// like the original — the property the live runtime depends on.
+func TestWireRoundTripPreservesSimulatorBehaviour(t *testing.T) {
+	t.Parallel()
+	spawn := func() *sfProc {
+		return SFlooding{Proposals: Proposals{2: "v2"}}.Spawn(2, 5).(*sfProc)
+	}
+	orig := sfFloodMsg{Round: 1, Delta: map[model.ProcessID]Value{1: "v1"}}
+	b, err := EncodeWire(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeWire(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, c := spawn(), spawn()
+	a.absorb(&sim.Message{From: 1, Payload: orig})
+	c.absorb(&sim.Message{From: 1, Payload: decoded})
+	if a.v[1] != c.v[1] || !a.received[1].Equal(c.received[1]) {
+		t.Fatalf("decoded copy diverged: %v vs %v", a, c)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+)
+
+// CollapseWitness is the executable form of the §6.3 argument that
+// S ∩ R ⊂ P: if a realistic detector ever falsely suspects a process
+// q at time t in pattern F, then in the continuation F′ — identical to
+// F through t, with every process except q crashing at t+1 — the same
+// prefix output must occur (realism), and now q is the only correct
+// process yet it was suspected: weak accuracy, hence membership in S,
+// is violated.
+type CollapseWitness struct {
+	// F is the original pattern; FPrime the hostile continuation.
+	F, FPrime *model.FailurePattern
+	// Watcher falsely suspected Target at time T in F.
+	Watcher, Target model.ProcessID
+	T               model.Time
+	// WeakAccuracyInFPrime is the resulting violation of weak accuracy
+	// in F′ (nil would mean the argument failed).
+	WeakAccuracyInFPrime *fd.Violation
+}
+
+// String summarizes the witness.
+func (w *CollapseWitness) String() string {
+	return fmt.Sprintf("§6.3 collapse: %v falsely suspected %v at t=%d in %v; in continuation %v only %v is correct and weak accuracy fails: %v",
+		w.Watcher, w.Target, w.T, w.F, w.FPrime, w.Target, w.WeakAccuracyInFPrime)
+}
+
+// BuildCollapseWitness hunts for a false suspicion by the oracle in
+// pattern f (recorded to the horizon) and, if one exists, constructs
+// the §6.3 continuation showing the oracle cannot be Strong. It
+// returns nil when the oracle never falsely suspects — i.e. when it
+// already satisfies strong accuracy, which is exactly the collapse:
+// a realistic Strong detector must behave as a Perfect one.
+//
+// The continuation's history is re-recorded through the oracle itself;
+// because every realistic oracle in this repository is a function of
+// the pattern prefix, its outputs in F′ match those in F through t by
+// construction, and the function verifies rather than assumes that.
+func BuildCollapseWitness(o fd.Oracle, f *model.FailurePattern, horizon model.Time) (*CollapseWitness, error) {
+	h := fd.RecordHistory(o, f, horizon, 1)
+
+	// Find the first false suspicion (p suspects q while q is alive).
+	for t := model.Time(0); t <= horizon; t++ {
+		for p := model.ProcessID(1); int(p) <= f.N(); p++ {
+			if !f.Alive(p, t) {
+				continue
+			}
+			out, ok := h.Last(p, t)
+			if !ok {
+				continue
+			}
+			for _, q := range out.Slice() {
+				if !f.Alive(q, t) {
+					continue
+				}
+				return buildContinuation(o, f, horizon, p, q, t)
+			}
+		}
+	}
+	return nil, nil // strongly accurate over this pattern: already Perfect-like
+}
+
+// buildContinuation constructs F′ and verifies both the realism echo
+// and the weak-accuracy violation.
+func buildContinuation(o fd.Oracle, f *model.FailurePattern, horizon model.Time, watcher, target model.ProcessID, t model.Time) (*CollapseWitness, error) {
+	fPrime := f.PrefixClone(t)
+	for p := 1; p <= f.N(); p++ {
+		id := model.ProcessID(p)
+		if id == target {
+			continue
+		}
+		if fPrime.Alive(id, t) {
+			fPrime.MustCrash(id, t+1)
+		}
+	}
+
+	// Realism echo: the oracle's output at (watcher, t) must be the
+	// same in F and F′ — they share the prefix through t.
+	if !f.SamePrefix(fPrime, t) {
+		return nil, fmt.Errorf("core: continuation does not share prefix through t=%d", t)
+	}
+	outF := o.Output(f, watcher, t)
+	outFPrime := o.Output(fPrime, watcher, t)
+	if !outF.Equal(outFPrime) {
+		return nil, fmt.Errorf("core: oracle %s is not realistic: outputs %v vs %v on a shared prefix",
+			o.Name(), outF, outFPrime)
+	}
+
+	hPrime := fd.RecordHistory(o, fPrime, horizon, 1)
+	wa := fd.CheckWeakAccuracy(hPrime, fPrime)
+	if wa == nil {
+		return nil, fmt.Errorf("core: continuation did not break weak accuracy (suspicion of %v not replayed?)", target)
+	}
+	return &CollapseWitness{
+		F: f.Clone(), FPrime: fPrime,
+		Watcher: watcher, Target: target, T: t,
+		WeakAccuracyInFPrime: wa,
+	}, nil
+}

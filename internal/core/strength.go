@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+)
+
+// Class names a failure-detector class of the Chandra-Toueg hierarchy
+// (§1.2), plus the paper's P< (§6.2).
+type Class int
+
+// The classes, ordered roughly by strength.
+const (
+	// ClassP is Perfect: strong completeness + strong accuracy.
+	ClassP Class = iota + 1
+	// ClassS is Strong: strong completeness + weak accuracy.
+	ClassS
+	// ClassDiamondP is Eventually Perfect.
+	ClassDiamondP
+	// ClassDiamondS is Eventually Strong.
+	ClassDiamondS
+	// ClassPLess is the Partially Perfect class P< of §6.2.
+	ClassPLess
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassP:
+		return "P"
+	case ClassS:
+		return "S"
+	case ClassDiamondP:
+		return "◇P"
+	case ClassDiamondS:
+		return "◇S"
+	case ClassPLess:
+		return "P<"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Satisfies reports whether a recorded (possibly emulated) history
+// meets the defining properties of the class over the given pattern.
+// This is the membership half of the ≼ (weaker-than) relation of
+// §2.5: an emulation algorithm T(D⇒C) together with a Satisfies check
+// over its output histories is exactly what "D is stronger than class
+// C" means operationally — the form in which the paper's reductions
+// (Lemmas 4.2, Prop 5.1) establish weakest-ness.
+func Satisfies(h *model.History, f *model.FailurePattern, c Class) *fd.Violation {
+	r := fd.Classify(h, f)
+	switch c {
+	case ClassP:
+		if v := r.StrongCompleteness; v != nil {
+			return v
+		}
+		return r.StrongAccuracy
+	case ClassS:
+		if v := r.StrongCompleteness; v != nil {
+			return v
+		}
+		return r.WeakAccuracy
+	case ClassDiamondP:
+		if v := r.StrongCompleteness; v != nil {
+			return v
+		}
+		return r.EventualStrongAccuracy
+	case ClassDiamondS:
+		if v := r.StrongCompleteness; v != nil {
+			return v
+		}
+		return r.EventualWeakAccuracy
+	case ClassPLess:
+		if v := r.PartialCompleteness; v != nil {
+			return v
+		}
+		return r.StrongAccuracy
+	default:
+		return &fd.Violation{Property: "class", Detail: fmt.Sprintf("unknown class %v", c)}
+	}
+}
+
+// Implications returns the classes implied by membership in c within
+// the classical containment order (P ⊆ S ⊆ ◇S, P ⊆ ◇P ⊆ ◇S,
+// P ⊆ P<). Experiments use it to sanity-check that every verified
+// membership also verifies its supersets.
+func Implications(c Class) []Class {
+	switch c {
+	case ClassP:
+		return []Class{ClassS, ClassDiamondP, ClassDiamondS, ClassPLess}
+	case ClassS:
+		return []Class{ClassDiamondS}
+	case ClassDiamondP:
+		return []Class{ClassDiamondS}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+)
+
+func TestSatisfiesAcrossOracles(t *testing.T) {
+	t.Parallel()
+	pat := model.MustPattern(5).MustCrash(2, 20).MustCrash(4, 80)
+	cases := []struct {
+		oracle fd.Oracle
+		in     []Class
+		notIn  []Class
+	}{
+		{
+			oracle: fd.Perfect{Delay: 2},
+			in:     []Class{ClassP, ClassS, ClassDiamondP, ClassDiamondS, ClassPLess},
+		},
+		{
+			oracle: fd.EventuallyStrong{GST: 60, Delay: 2, Seed: 3, FalseRate: 25},
+			in:     []Class{ClassDiamondS},
+			notIn:  []Class{ClassP, ClassPLess},
+		},
+		{
+			oracle: fd.EventuallyPerfect{GST: 60, Delay: 2, Seed: 4, FalseRate: 25},
+			in:     []Class{ClassDiamondP, ClassDiamondS},
+			notIn:  []Class{ClassP},
+		},
+		{
+			oracle: fd.PartiallyPerfect{Delay: 2},
+			in:     []Class{ClassPLess},
+			notIn:  []Class{ClassP, ClassS},
+		},
+		{
+			oracle: fd.NonRealisticStrong{Delay: 2, FalsePeriod: 10},
+			in:     []Class{ClassS, ClassDiamondS},
+			notIn:  []Class{ClassP},
+		},
+	}
+	for _, tc := range cases {
+		h := fd.RecordHistory(tc.oracle, pat, 300, 1)
+		for _, c := range tc.in {
+			if v := Satisfies(h, pat, c); v != nil {
+				t.Errorf("%s should satisfy %v: %v", tc.oracle.Name(), c, v)
+			}
+		}
+		for _, c := range tc.notIn {
+			if v := Satisfies(h, pat, c); v == nil {
+				t.Errorf("%s should NOT satisfy %v", tc.oracle.Name(), c)
+			}
+		}
+	}
+}
+
+func TestImplicationsHoldEmpirically(t *testing.T) {
+	t.Parallel()
+	// Whenever a history satisfies a class, it must satisfy every
+	// implied (weaker) class — the containment order made executable.
+	pat := model.MustPattern(5).MustCrash(3, 30)
+	oracles := []fd.Oracle{
+		fd.Perfect{},
+		fd.Perfect{Delay: 4},
+		fd.Scribe{},
+		fd.RealisticStrong{BaseDelay: 1, Seed: 2, JitterMax: 3},
+		fd.EventuallyStrong{GST: 50, Delay: 2, Seed: 5, FalseRate: 20},
+		fd.EventuallyPerfect{GST: 50, Delay: 2, Seed: 6, FalseRate: 20},
+		fd.PartiallyPerfect{Delay: 1},
+	}
+	classes := []Class{ClassP, ClassS, ClassDiamondP, ClassDiamondS, ClassPLess}
+	for _, o := range oracles {
+		h := fd.RecordHistory(o, pat, 300, 1)
+		for _, c := range classes {
+			if Satisfies(h, pat, c) != nil {
+				continue
+			}
+			for _, weaker := range Implications(c) {
+				if v := Satisfies(h, pat, weaker); v != nil {
+					t.Errorf("%s: in %v but not in implied %v: %v", o.Name(), c, weaker, v)
+				}
+			}
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	t.Parallel()
+	want := map[Class]string{
+		ClassP: "P", ClassS: "S", ClassDiamondP: "◇P", ClassDiamondS: "◇S", ClassPLess: "P<",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if v := Satisfies(model.NewHistory(5), model.MustPattern(5), Class(99)); v == nil {
+		t.Error("unknown class accepted")
+	}
+}

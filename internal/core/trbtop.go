@@ -1,0 +1,39 @@
+package core
+
+import (
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+	"realisticfd/internal/trb"
+)
+
+// EmulatePerfectFromTRB is the necessary direction of Proposition 5.1:
+// given the trace of any terminating-reliable-broadcast algorithm, a
+// Perfect failure detector is emulated in output(P) by the rule
+// "whenever a process p_j delivers nil for an instance (i,·), p_j adds
+// p_i to output(P)_j" — suspicions are cumulative and never removed.
+//
+// The returned history samples output(P)_p at each of p's deliveries.
+// Strong completeness follows because a crashed initiator's later
+// instances can only deliver nil; strong accuracy — the step of the
+// proof where realism is indispensable — because with a realistic
+// detector a nil delivery at time t implies the initiator crashed by
+// t (checked independently by trb.CheckNilAccuracy).
+func EmulatePerfectFromTRB(tr *sim.Trace) *model.History {
+	h := model.NewHistory(tr.N)
+	output := make(map[model.ProcessID]model.ProcessSet, tr.N)
+	for _, le := range tr.ProtocolEvents(sim.KindDeliver) {
+		v, ok := le.Event.Value.(consensus.Value)
+		if !ok {
+			continue
+		}
+		init, _ := trb.SplitInstanceID(le.Event.Instance)
+		cur := output[le.P]
+		if v == trb.Nil {
+			cur = cur.Add(init)
+			output[le.P] = cur
+		}
+		h.Record(le.P, le.T, cur)
+	}
+	return h
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+	"realisticfd/internal/trb"
+)
+
+// trbDone stops once every correct process delivered every instance.
+func trbDone(waves int) func(*sim.Trace) bool {
+	return func(tr *sim.Trace) bool {
+		dels := trb.Deliveries(tr)
+		correct := tr.Pattern.Correct()
+		for init := 1; init <= tr.N; init++ {
+			for k := 0; k < waves; k++ {
+				m := dels[trb.InstanceID(model.ProcessID(init), k)]
+				for _, p := range correct.Slice() {
+					if _, ok := m[p]; !ok {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+}
+
+func TestEmulatePerfectFromTRB(t *testing.T) {
+	t.Parallel()
+	// Proposition 5.1, necessary direction (E4): run TRB over enough
+	// waves that crashed initiators accumulate nil deliveries, then
+	// verify output(P) is a Perfect history.
+	const waves = 4
+	cases := []struct {
+		name string
+		pat  func() *model.FailurePattern
+	}{
+		{"early crash", func() *model.FailurePattern { return model.MustPattern(5).MustCrash(2, 1) }},
+		{"two crashes", func() *model.FailurePattern {
+			return model.MustPattern(5).MustCrash(1, 1).MustCrash(4, 60)
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 3; seed++ {
+				pat := tc.pat()
+				tr, err := sim.Execute(sim.Config{
+					N:         5,
+					Automaton: trb.Broadcast{Waves: waves},
+					Oracle:    fd.Perfect{Delay: 2},
+					Pattern:   pat,
+					Horizon:   120000,
+					Seed:      seed,
+					Policy:    &sim.RandomFairPolicy{},
+					StopWhen:  trbDone(waves),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tr.Stopped != sim.StopCondition {
+					t.Fatalf("seed %d: TRB incomplete: %v", seed, tr)
+				}
+				h := EmulatePerfectFromTRB(tr)
+				if v := fd.CheckStrongAccuracy(h, pat); v != nil {
+					t.Fatalf("seed %d: TRB⇒P emulation inaccurate: %v", seed, v)
+				}
+				if v := fd.CheckStrongCompleteness(h, pat); v != nil {
+					t.Fatalf("seed %d: TRB⇒P emulation incomplete: %v", seed, v)
+				}
+			}
+		})
+	}
+}
+
+func TestEmulatePerfectFromTRBStaysEmptyWithoutCrashes(t *testing.T) {
+	t.Parallel()
+	tr, err := sim.Execute(sim.Config{
+		N:         5,
+		Automaton: trb.Broadcast{Waves: 2},
+		Oracle:    fd.Perfect{Delay: 2},
+		Horizon:   120000,
+		Seed:      5,
+		StopWhen:  trbDone(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := EmulatePerfectFromTRB(tr)
+	for p := model.ProcessID(1); p <= 5; p++ {
+		if out, ok := h.FinalSuspicions(p); ok && !out.IsEmpty() {
+			t.Fatalf("failure-free run emulated suspicions %v at %v", out, p)
+		}
+	}
+}

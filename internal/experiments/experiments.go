@@ -1,0 +1,86 @@
+// Package experiments regenerates the paper's results as tables
+// (E1–E9, indexed in DESIGN.md §4). The paper is a theory paper with
+// no numeric tables of its own; each experiment is the executable
+// form of one lemma/proposition/remark, evaluated over seeded
+// adversarial runs. cmd/experiments prints the tables; EXPERIMENTS.md
+// records expected-vs-measured; bench_test.go times each generator.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper statement under test
+	Columns []string
+	Rows    [][]string
+	Verdict string // one-line outcome
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "claim: %s\n", t.Claim)
+
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len([]rune(c))
+			}
+			parts[i] = c + strings.Repeat(" ", pad)
+		}
+		return "  " + strings.Join(parts, "  ")
+	}
+	fmt.Fprintln(w, line(t.Columns))
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, line(sep))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, line(row))
+	}
+	fmt.Fprintf(w, "verdict: %s\n\n", t.Verdict)
+}
+
+// RunAll executes every experiment and prints its table.
+func RunAll(w io.Writer, seeds int) {
+	for _, gen := range []func(int) *Table{
+		E1Totality, E2Adversary, E3Reduction, E4TRB, E5Marabout,
+		E6PartialPerfect, E7Collapse, E8MajorityCrossover,
+	} {
+		gen(seeds).Fprint(w)
+	}
+	E9QoS().Fprint(w)
+}
+
+// mark renders booleans as table-friendly glyphs.
+func mark(ok bool) string {
+	if ok {
+		return "✓"
+	}
+	return "✗"
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentConfirms is the repository's top-level regression
+// gate: each E-table must reach a confirming (✓) verdict at one seed
+// per scenario. A regression anywhere in the stack — model, oracle,
+// simulator, algorithm, checker — surfaces here as a ✗ verdict.
+func TestEveryExperimentConfirms(t *testing.T) {
+	t.Parallel()
+	gens := map[string]func(int) *Table{
+		"E1": E1Totality,
+		"E2": E2Adversary,
+		"E3": E3Reduction,
+		"E4": E4TRB,
+		"E5": E5Marabout,
+		"E6": E6PartialPerfect,
+		"E7": E7Collapse,
+		"E8": E8MajorityCrossover,
+		"E9": func(int) *Table { return E9QoS() },
+	}
+	for id, gen := range gens {
+		id, gen := id, gen
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			tbl := gen(1)
+			if tbl.ID != id {
+				t.Errorf("table ID = %q, want %q", tbl.ID, id)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if !strings.Contains(tbl.Verdict, "✓") || strings.Contains(tbl.Verdict, "✗") {
+				t.Fatalf("verdict not confirming: %q", tbl.Verdict)
+			}
+		})
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	t.Parallel()
+	tbl := &Table{
+		ID:      "EX",
+		Title:   "demo",
+		Claim:   "renders",
+		Columns: []string{"a", "long-column"},
+		Verdict: "fine ✓",
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"EX — demo", "claim: renders", "long-column", "verdict: fine ✓"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns are aligned: the separator row matches header width.
+	if !strings.Contains(out, "---") {
+		t.Error("missing separator")
+	}
+}
+
+func TestRunAllWritesEveryTable(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	RunAll(&buf, 1)
+	out := buf.String()
+	for _, id := range []string{"E1 —", "E2 —", "E3 —", "E4 —", "E5 —", "E6 —", "E7 —", "E8 —", "E9 —"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("RunAll output missing %q", id)
+		}
+	}
+}

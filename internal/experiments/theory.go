@@ -1,0 +1,550 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/core"
+	"realisticfd/internal/fd"
+	"realisticfd/internal/heartbeat"
+	"realisticfd/internal/model"
+	"realisticfd/internal/qos"
+	"realisticfd/internal/sim"
+	"realisticfd/internal/trb"
+)
+
+const expN = 5
+
+// e1Patterns are the crash scenarios shared by several experiments.
+func crashPattern(crashes int) *model.FailurePattern {
+	pat := model.MustPattern(expN)
+	times := []model.Time{30, 90, 150, 210}
+	for i := 0; i < crashes && i < len(times); i++ {
+		pat.MustCrash(model.ProcessID(i+1), times[i])
+	}
+	return pat
+}
+
+// E1Totality audits every decision of the S-based algorithm under
+// realistic accurate detectors for the §4.2 totality property
+// (Lemma 4.1).
+func E1Totality(seeds int) *Table {
+	t := &Table{
+		ID:      "E1",
+		Title:   "Totality of realistic-detector consensus (Lemma 4.1)",
+		Claim:   "every consensus algorithm using a realistic failure detector is total",
+		Columns: []string{"detector", "crashes", "runs", "decisions", "non-total", "mean t(decide)"},
+	}
+	oracles := []fd.Oracle{
+		fd.Perfect{Delay: 2},
+		fd.Scribe{},
+		fd.RealisticStrong{BaseDelay: 1, Seed: 3, JitterMax: 4},
+	}
+	allTotal := true
+	for _, o := range oracles {
+		for _, crashes := range []int{0, 1, 2, 4} {
+			decisions, violations := 0, 0
+			var sumT, runs int64
+			for seed := int64(0); seed < int64(seeds); seed++ {
+				pat := crashPattern(crashes)
+				tr, err := sim.Execute(sim.Config{
+					N: expN, Automaton: consensus.SFlooding{Proposals: consensus.DistinctProposals(expN)},
+					Oracle: o, Pattern: pat, Horizon: 20000, Seed: seed,
+					Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
+				})
+				if err != nil {
+					continue
+				}
+				runs++
+				for _, d := range tr.Decisions(0) {
+					decisions++
+					sumT += int64(d.T)
+				}
+				violations += len(core.TotalityReport(tr, 0))
+			}
+			if violations > 0 {
+				allTotal = false
+			}
+			meanT := int64(0)
+			if decisions > 0 {
+				meanT = sumT / int64(decisions)
+			}
+			t.AddRow(o.Name(), fmt.Sprint(crashes), fmt.Sprint(runs),
+				fmt.Sprint(decisions), fmt.Sprint(violations), fmt.Sprint(meanT))
+		}
+	}
+	t.Verdict = fmt.Sprintf("all decisions total: %s (paper: total, by Lemma 4.1)", mark(allTotal))
+	return t
+}
+
+// E2Adversary replays the Lemma 4.1 proof: the adversary forces any
+// non-total run into disagreement via an indistinguishable-prefix
+// continuation.
+func E2Adversary(seeds int) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Lemma 4.1 adversary: non-total ⇒ disagreement",
+		Claim:   "a decision that skips a live process can be extended to violate agreement; with an accurate detector the attack must fail",
+		Columns: []string{"seed", "mode", "prefix identical", "missing from chain", "decisions", "disagree"},
+	}
+	ok := true
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		w, err := core.BuildDisagreement(core.AdversaryConfig{Seed: seed})
+		if err != nil {
+			t.AddRow(fmt.Sprint(seed), "noisy ◇S", "-", "-", "-", "error: "+err.Error())
+			ok = false
+			continue
+		}
+		t.AddRow(fmt.Sprint(seed), "noisy ◇S", mark(w.PrefixIdentical),
+			w.NonTotal.Missing.String(),
+			fmt.Sprintf("%v:%v vs %v:%v", w.FirstDecision.P, w.FirstDecision.Value, w.VictimDecision.P, w.VictimDecision.Value),
+			mark(w.Disagree()))
+		if !w.Disagree() || !w.PrefixIdentical {
+			ok = false
+		}
+	}
+	_, err := core.BuildDisagreement(core.AdversaryConfig{Seed: 0, Accurate: true})
+	attackFails := err == core.ErrDecisionTotal
+	t.AddRow("0", "accurate P", "-", "-", "-", "attack impossible: "+mark(attackFails))
+	if !attackFails {
+		ok = false
+	}
+	t.Verdict = fmt.Sprintf("adversary splits every non-total run and none with accurate detectors: %s", mark(ok))
+	return t
+}
+
+// E3Reduction measures the T(D⇒P) emulation (Lemma 4.2 /
+// Proposition 4.3).
+func E3Reduction(seeds int) *Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "T(D⇒P): consensus sequence emulates a Perfect detector (Lemma 4.2)",
+		Claim:   "piggybacked alive-tags + decisions yield strong completeness and strong accuracy",
+		Columns: []string{"crashes", "runs", "accurate", "complete", "mean emulation lag (ticks)"},
+	}
+	const maxInst = 40
+	ok := true
+	for _, crashes := range []int{0, 1, 2, 4} {
+		accurate, complete, runs := true, true, 0
+		var lagSum, lagCnt int64
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			pat := crashPattern(crashes)
+			tr, err := sim.Execute(sim.Config{
+				N: expN,
+				Automaton: core.Reduction{
+					Factory: func(int) sim.Automaton {
+						return consensus.SFlooding{Proposals: consensus.DistinctProposals(expN)}
+					},
+					MaxInstances: maxInst,
+				},
+				Oracle: fd.Perfect{Delay: 2}, Pattern: pat, Horizon: 120000, Seed: seed,
+				Policy: &sim.RandomFairPolicy{},
+				StopWhen: func(tr *sim.Trace) bool {
+					last := model.EmptySet()
+					for _, d := range tr.Decisions(maxInst - 1) {
+						last = last.Add(d.P)
+					}
+					return tr.Pattern.Correct().SubsetOf(last)
+				},
+			})
+			if err != nil {
+				continue
+			}
+			runs++
+			h, err := core.ExtractEmulatedHistory(tr)
+			if err != nil {
+				continue
+			}
+			if fd.CheckStrongAccuracy(h, pat) != nil {
+				accurate = false
+			}
+			if fd.CheckStrongCompleteness(h, pat) != nil {
+				complete = false
+			}
+			// Emulation lag: crash → first correct process suspecting
+			// it in output(P).
+			for _, q := range pat.Faulty().Slice() {
+				ct, _ := pat.CrashTime(q)
+				best := int64(-1)
+				for _, p := range pat.Correct().Slice() {
+					if first, ever := h.EverSuspected(p, q); ever {
+						if best < 0 || int64(first) < best {
+							best = int64(first)
+						}
+					}
+				}
+				if best >= 0 {
+					lagSum += best - int64(ct)
+					lagCnt++
+				}
+			}
+		}
+		if !accurate || !complete {
+			ok = false
+		}
+		lag := "-"
+		if lagCnt > 0 {
+			lag = fmt.Sprint(lagSum / lagCnt)
+		}
+		t.AddRow(fmt.Sprint(crashes), fmt.Sprint(runs), mark(accurate), mark(complete), lag)
+	}
+	t.Verdict = fmt.Sprintf("emulated detector is Perfect in every run: %s (paper: P is the weakest realistic class for consensus)", mark(ok))
+	return t
+}
+
+// E4TRB verifies Proposition 5.1 in both directions.
+func E4TRB(seeds int) *Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Terminating reliable broadcast ⇔ P (Proposition 5.1)",
+		Claim:   "P solves TRB with unbounded crashes; nil deliveries emulate P back",
+		Columns: []string{"crashes", "runs", "TRB spec", "TRB⇒P accurate", "TRB⇒P complete"},
+	}
+	const waves = 4
+	ok := true
+	for _, crashes := range []int{0, 1, 2, 4} {
+		specOK, accOK, compOK, runs := true, true, true, 0
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			pat := model.MustPattern(expN)
+			times := []model.Time{1, 60, 120, 180}
+			for i := 0; i < crashes; i++ {
+				pat.MustCrash(model.ProcessID(i+1), times[i])
+			}
+			tr, err := sim.Execute(sim.Config{
+				N: expN, Automaton: trb.Broadcast{Waves: waves},
+				Oracle: fd.Perfect{Delay: 2}, Pattern: pat, Horizon: 200000, Seed: seed,
+				Policy:   &sim.RandomFairPolicy{},
+				StopWhen: trbAllDelivered(waves),
+			})
+			if err != nil {
+				continue
+			}
+			runs++
+			if trb.CheckAll(tr, waves, nil) != nil {
+				specOK = false
+			}
+			h := core.EmulatePerfectFromTRB(tr)
+			if fd.CheckStrongAccuracy(h, pat) != nil {
+				accOK = false
+			}
+			if crashes > 0 && fd.CheckStrongCompleteness(h, pat) != nil {
+				compOK = false
+			}
+		}
+		if !specOK || !accOK || !compOK {
+			ok = false
+		}
+		t.AddRow(fmt.Sprint(crashes), fmt.Sprint(runs), mark(specOK), mark(accOK), mark(compOK))
+	}
+	t.Verdict = fmt.Sprintf("TRB solved with unbounded crashes and emulates P back: %s", mark(ok))
+	return t
+}
+
+func trbAllDelivered(waves int) func(*sim.Trace) bool {
+	return func(tr *sim.Trace) bool {
+		dels := trb.Deliveries(tr)
+		correct := tr.Pattern.Correct()
+		for init := 1; init <= tr.N; init++ {
+			for k := 0; k < waves; k++ {
+				m := dels[trb.InstanceID(model.ProcessID(init), k)]
+				for _, p := range correct.Slice() {
+					if _, okDel := m[p]; !okDel {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+}
+
+// E5Marabout demonstrates §6.1 and §3.2.2.
+func E5Marabout(seeds int) *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Marabout: consensus with unbounded crashes, but not realistic (§6.1, §3.2.2)",
+		Claim:   "the future-reading detector M solves consensus with n−1 crashes; M violates the realism property",
+		Columns: []string{"crashes", "runs", "solved", "decided value of", "realism"},
+	}
+	ok := true
+	for _, crashes := range []int{0, 1, 4} {
+		solved, runs := true, 0
+		leader := model.ProcessID(crashes + 1) // lowest correct
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			pat := model.MustPattern(expN)
+			for i := 0; i < crashes; i++ {
+				pat.MustCrash(model.ProcessID(i+1), model.Time(30+5*i))
+			}
+			props := consensus.DistinctProposals(expN)
+			tr, err := sim.Execute(sim.Config{
+				N: expN, Automaton: consensus.MaraboutConsensus{Proposals: props},
+				Oracle: fd.Marabout{}, Pattern: pat, Horizon: 20000, Seed: seed,
+				Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
+			})
+			if err != nil {
+				continue
+			}
+			runs++
+			o, err := consensus.ExtractOutcome(tr, 0)
+			if err != nil || o.CheckUniformSpec(pat, props) != nil {
+				solved = false
+				continue
+			}
+			if v, _ := o.DecidedValue(); v != props[leader] {
+				solved = false
+			}
+		}
+		if !solved {
+			ok = false
+		}
+		t.AddRow(fmt.Sprint(crashes), fmt.Sprint(runs), mark(solved), leader.String(), "✗ (not realistic)")
+	}
+	if fd.CheckRealism(fd.Marabout{}, expN, 100, 12) == nil {
+		ok = false
+	}
+	t.Verdict = fmt.Sprintf("M solves consensus trivially yet fails the realism check: %s — the lower bound needs realism", mark(ok))
+	return t
+}
+
+// E6PartialPerfect separates uniform from correct-restricted
+// consensus (§6.2).
+func E6PartialPerfect(seeds int) *Table {
+	t := &Table{
+		ID:      "E6",
+		Title:   "P< solves correct-restricted consensus, not uniform (§6.2)",
+		Claim:   "uniform consensus is strictly harder than consensus",
+		Columns: []string{"scenario", "runs", "correct-restricted", "uniform"},
+	}
+	// Benign sweep: correct-restricted agreement must always hold.
+	benignOK, runs := true, 0
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		for _, crashes := range []int{0, 1, 2, 4} {
+			pat := crashPattern(crashes)
+			props := consensus.DistinctProposals(expN)
+			tr, err := sim.Execute(sim.Config{
+				N: expN, Automaton: consensus.PartialOrder{Proposals: props},
+				Oracle: fd.PartiallyPerfect{Delay: 2}, Pattern: pat, Horizon: 20000, Seed: seed,
+				Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
+			})
+			if err != nil {
+				continue
+			}
+			runs++
+			o, err := consensus.ExtractOutcome(tr, 0)
+			if err != nil || o.CheckTermination(pat) != nil ||
+				o.CheckAgreementAmongCorrect(pat) != nil || o.CheckValidity(props) != nil {
+				benignOK = false
+			}
+		}
+	}
+	t.AddRow("random crashes", fmt.Sprint(runs), mark(benignOK), "(not claimed)")
+
+	// Adversarial run: p1 decides, its messages are withheld, it
+	// crashes — uniform agreement must break while correct-restricted
+	// holds.
+	violations, adOK := 0, true
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		pat := model.MustPattern(expN)
+		props := consensus.DistinctProposals(expN)
+		crashed := false
+		tr, err := sim.Execute(sim.Config{
+			N: expN, Automaton: consensus.PartialOrder{Proposals: props},
+			Oracle: fd.PartiallyPerfect{Delay: 2}, Pattern: pat, Horizon: 20000, Seed: seed,
+			Policy: &sim.DelayPolicy{Target: model.NewProcessSet(1), Until: 20001},
+			AfterStep: func(r *sim.Run, ev *sim.EventRecord) {
+				if crashed || ev.P != 1 {
+					return
+				}
+				for _, pe := range ev.Events {
+					if pe.Kind == sim.KindDecide {
+						crashed = true
+						_ = r.Crash(1)
+					}
+				}
+			},
+			StopWhen: sim.CorrectDecided(0),
+		})
+		if err != nil || !crashed {
+			adOK = false
+			continue
+		}
+		o, err := consensus.ExtractOutcome(tr, 0)
+		if err != nil {
+			adOK = false
+			continue
+		}
+		if o.CheckAgreementAmongCorrect(pat) != nil {
+			adOK = false
+		}
+		if o.CheckUniformAgreement() != nil {
+			violations++
+		}
+	}
+	t.AddRow("p1 isolated+crashed", fmt.Sprint(seeds), mark(adOK), fmt.Sprintf("✗ in %d/%d runs", violations, seeds))
+	t.Verdict = fmt.Sprintf("correct-restricted solvable with P< while uniform breaks: %s — uniform is strictly harder", mark(benignOK && adOK && violations > 0))
+	return t
+}
+
+// E7Collapse verifies §6.3: S ∩ R ⊂ P.
+func E7Collapse(seeds int) *Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Strength vs perfection: S ∩ R ⊂ P (§6.3)",
+		Claim:   "a realistic Strong detector never falsely suspects — it is already Perfect",
+		Columns: []string{"oracle", "realistic", "false suspicion", "weak accuracy in continuation", "in P"},
+	}
+	ok := true
+	pat := model.MustPattern(expN).MustCrash(2, 40)
+	// Realistic accurate oracles: no witness exists; they are in P.
+	for _, o := range []fd.Oracle{
+		fd.Perfect{Delay: 2},
+		fd.RealisticStrong{BaseDelay: 1, Seed: 8, JitterMax: 3},
+	} {
+		w, err := core.BuildCollapseWitness(o, pat.Clone(), 300)
+		inP := err == nil && w == nil
+		if !inP {
+			ok = false
+		}
+		t.AddRow(o.Name(), "✓", "none", "-", mark(inP))
+	}
+	// A noisy realistic detector (claiming S at best) gets caught: the
+	// continuation where everyone else crashes breaks weak accuracy.
+	found := 0
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		o := fd.EventuallyStrong{GST: 60, Delay: 1, Seed: seed, FalseRate: 25}
+		w, err := core.BuildCollapseWitness(o, model.MustPattern(expN), 300)
+		if err == nil && w != nil && w.WeakAccuracyInFPrime != nil {
+			found++
+		}
+	}
+	t.AddRow(fmt.Sprintf("◇S noisy ×%d", seeds), "✓", fmt.Sprintf("%d/%d", found, seeds), "violated", "✗ (not even in S)")
+	if found != seeds {
+		ok = false
+	}
+	// The non-realistic Strong detector escapes the argument — but
+	// only by failing realism.
+	nr := fd.NonRealisticStrong{Delay: 2, FalsePeriod: 10}
+	nrCaught := fd.CheckRealism(nr, expN, 100, 12) != nil
+	t.AddRow(nr.Name(), mark(!nrCaught), "protected anchor", "-", "✗ (in S \\ R)")
+	if !nrCaught {
+		ok = false
+	}
+	t.Verdict = fmt.Sprintf("within realistic detectors the classes S and P collapse: %s", mark(ok))
+	return t
+}
+
+// E8MajorityCrossover contrasts the S-based (any f) and ◇S-based
+// (majority) algorithms as f grows.
+func E8MajorityCrossover(seeds int) *Table {
+	t := &Table{
+		ID:      "E8",
+		Title:   "Majority crossover: S-flooding vs ◇S rotating coordinator (§1.2)",
+		Claim:   "◇S consensus needs a majority of correct processes; S/P do not",
+		Columns: []string{"f (of 5)", "S-flooding+P", "rotating+◇S", "rotating safety"},
+	}
+	ok := true
+	for f := 0; f <= 4; f++ {
+		sOK, rotLive, rotSafe := true, true, true
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			pat := model.MustPattern(expN)
+			for i := 0; i < f; i++ {
+				pat.MustCrash(model.ProcessID(i+1), model.Time(5+3*i))
+			}
+			props := consensus.DistinctProposals(expN)
+
+			trS, err := sim.Execute(sim.Config{
+				N: expN, Automaton: consensus.SFlooding{Proposals: props},
+				Oracle: fd.Perfect{Delay: 2}, Pattern: pat.Clone(), Horizon: 20000, Seed: seed,
+				Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
+			})
+			if err != nil || trS.Stopped != sim.StopCondition {
+				sOK = false
+			} else if o, err := consensus.ExtractOutcome(trS, 0); err != nil || o.CheckUniformSpec(pat, props) != nil {
+				sOK = false
+			}
+
+			trR, err := sim.Execute(sim.Config{
+				N: expN, Automaton: consensus.Rotating{Proposals: props},
+				Oracle:  fd.EventuallyStrong{GST: 100, Delay: 3, Seed: uint64(seed), FalseRate: 10},
+				Pattern: pat.Clone(), Horizon: 20000, Seed: seed,
+				Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
+			})
+			if err != nil || trR.Stopped != sim.StopCondition {
+				rotLive = false
+			}
+			if err == nil {
+				if o, err2 := consensus.ExtractOutcome(trR, 0); err2 != nil || o.CheckUniformAgreement() != nil {
+					rotSafe = false
+				}
+			}
+		}
+		needMajority := f >= (expN+1)/2
+		wantLive := !needMajority
+		row := "decides"
+		if !rotLive {
+			row = "BLOCKS"
+		}
+		sCell := "decides"
+		if !sOK {
+			sCell = "FAILS"
+		}
+		t.AddRow(fmt.Sprint(f), sCell, row, mark(rotSafe))
+		if !sOK || rotLive != wantLive || !rotSafe {
+			ok = false
+		}
+	}
+	t.Verdict = fmt.Sprintf("crossover at f = ⌈n/2⌉ = 3 with safety intact: %s", mark(ok))
+	return t
+}
+
+// E9QoS sweeps the live heartbeat estimators over a jittery lossy
+// link — the engineering face of the accuracy/completeness trade-off.
+func E9QoS() *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "QoS of live heartbeat detectors (Chen-Toueg-Aguilera metrics; §1.3)",
+		Claim:   "emulating P live trades detection time against false suspicions; membership makes the chosen suspicions accurate by exclusion",
+		Columns: []string{"estimator", "T_D (crash)", "mistakes (steady)", "λ_M (/s)", "T_M", "P_A"},
+	}
+	base := qos.ArrivalModel{
+		Interval:     20 * time.Millisecond,
+		JitterStd:    4 * time.Millisecond,
+		DropPct:      10,
+		Duration:     10 * time.Second,
+		SamplePeriod: 2 * time.Millisecond,
+		Seed:         17,
+	}
+	points := qos.Sweep(base, []qos.Config{
+		{Label: "fixed 25ms", Make: func() heartbeat.Estimator { return &heartbeat.FixedTimeout{Timeout: 25 * time.Millisecond} }},
+		{Label: "fixed 50ms", Make: func() heartbeat.Estimator { return &heartbeat.FixedTimeout{Timeout: 50 * time.Millisecond} }},
+		{Label: "fixed 100ms", Make: func() heartbeat.Estimator { return &heartbeat.FixedTimeout{Timeout: 100 * time.Millisecond} }},
+		{Label: "fixed 200ms", Make: func() heartbeat.Estimator { return &heartbeat.FixedTimeout{Timeout: 200 * time.Millisecond} }},
+		{Label: "chen α=30ms", Make: func() heartbeat.Estimator { return &heartbeat.Chen{Window: 32, Alpha: 30 * time.Millisecond} }},
+		{Label: "chen α=80ms", Make: func() heartbeat.Estimator { return &heartbeat.Chen{Window: 32, Alpha: 80 * time.Millisecond} }},
+		{Label: "φ Φ=4", Make: func() heartbeat.Estimator {
+			return &heartbeat.PhiAccrual{Window: 128, Threshold: 4, MinStdDev: 2 * time.Millisecond}
+		}},
+		{Label: "φ Φ=8", Make: func() heartbeat.Estimator {
+			return &heartbeat.PhiAccrual{Window: 128, Threshold: 8, MinStdDev: 2 * time.Millisecond}
+		}},
+		{Label: "φ Φ=12", Make: func() heartbeat.Estimator {
+			return &heartbeat.PhiAccrual{Window: 128, Threshold: 12, MinStdDev: 2 * time.Millisecond}
+		}},
+	})
+	allDetected := true
+	for _, pt := range points {
+		if !pt.Crash.Detected {
+			allDetected = false
+		}
+		t.AddRow(pt.Estimator,
+			pt.Crash.DetectionTime.Round(time.Millisecond).String(),
+			fmt.Sprint(pt.Steady.Mistakes),
+			fmt.Sprintf("%.3f", pt.Steady.MistakeRate),
+			pt.Steady.AvgMistakeDuration.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.4f", pt.Steady.QueryAccuracy),
+		)
+	}
+	t.Verdict = fmt.Sprintf("every configuration detects the crash (%s); tighter ⇒ faster T_D and more mistakes — the realistic frontier", mark(allDetected))
+	return t
+}

@@ -1,0 +1,262 @@
+package fd
+
+import (
+	"fmt"
+
+	"realisticfd/internal/model"
+)
+
+// Violation describes why a recorded history fails a class property.
+// A nil *Violation means the property holds over the recorded horizon.
+type Violation struct {
+	Property string          // e.g. "strong accuracy"
+	Watcher  model.ProcessID // the process whose module misbehaved (0 if global)
+	Target   model.ProcessID // the process mis-reported (0 if global)
+	At       model.Time      // witness time, when meaningful
+	Detail   string
+}
+
+// Error renders the violation; *Violation also satisfies error so
+// checkers compose with the usual error plumbing.
+func (v *Violation) Error() string {
+	if v == nil {
+		return "<no violation>"
+	}
+	return fmt.Sprintf("%s violated: watcher=%v target=%v t=%d: %s",
+		v.Property, v.Watcher, v.Target, v.At, v.Detail)
+}
+
+// CheckStrongCompleteness verifies that every crashed process is
+// eventually permanently suspected by every correct process, judged at
+// the history's horizon. The caller must record the history to a
+// horizon comfortably past the last crash plus the detector's latency;
+// the experiments sweep horizons to show the verdict is stable.
+func CheckStrongCompleteness(h *model.History, f *model.FailurePattern) *Violation {
+	correct := f.Correct()
+	for _, q := range f.Faulty().Slice() {
+		for _, p := range correct.Slice() {
+			if _, ok := h.SuspectedFrom(p, q); !ok {
+				return &Violation{
+					Property: "strong completeness",
+					Watcher:  p, Target: q, At: h.MaxTime(),
+					Detail: fmt.Sprintf("correct %v does not permanently suspect crashed %v by the horizon", p, q),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWeakCompleteness verifies that every crashed process is
+// eventually permanently suspected by some correct process.
+func CheckWeakCompleteness(h *model.History, f *model.FailurePattern) *Violation {
+	correct := f.Correct()
+	for _, q := range f.Faulty().Slice() {
+		found := false
+		for _, p := range correct.Slice() {
+			if _, ok := h.SuspectedFrom(p, q); ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return &Violation{
+				Property: "weak completeness",
+				Target:   q, At: h.MaxTime(),
+				Detail: fmt.Sprintf("no correct process permanently suspects crashed %v", q),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckStrongAccuracy verifies that no process is suspected before it
+// crashes: for every sample H(p, t), every suspected q satisfies
+// q ∈ F(t).
+func CheckStrongAccuracy(h *model.History, f *model.FailurePattern) *Violation {
+	for p := model.ProcessID(1); int(p) <= f.N(); p++ {
+		for _, s := range h.Samples(p) {
+			for _, q := range s.Out.Slice() {
+				if f.Alive(q, s.T) {
+					return &Violation{
+						Property: "strong accuracy",
+						Watcher:  p, Target: q, At: s.T,
+						Detail: fmt.Sprintf("%v suspected %v at t=%d but %v had not crashed", p, q, s.T, q),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWeakAccuracy verifies that some correct process is never
+// suspected by anyone.
+func CheckWeakAccuracy(h *model.History, f *model.FailurePattern) *Violation {
+	for _, c := range f.Correct().Slice() {
+		suspectedSomewhere := false
+		for p := model.ProcessID(1); int(p) <= f.N(); p++ {
+			if _, ever := h.EverSuspected(p, c); ever {
+				suspectedSomewhere = true
+				break
+			}
+		}
+		if !suspectedSomewhere {
+			return nil
+		}
+	}
+	return &Violation{
+		Property: "weak accuracy",
+		Detail:   "every correct process was suspected by someone at some time",
+	}
+}
+
+// stabilizationMargin is the tail fraction of the horizon that must
+// be free of offending samples before an "eventually ..." property is
+// certified: a single quiet sample at the very edge (e.g. a rotating
+// false-suspicion pattern caught between two bursts) is not evidence
+// of stabilization.
+func stabilizationMargin(h *model.History) model.Time {
+	m := h.MaxTime() / 10
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// CheckEventualStrongAccuracy verifies that there is a time after
+// which no alive process is suspected: the union over all watchers of
+// false suspicions has a finite last occurrence, strictly before the
+// final tenth of the recorded horizon.
+func CheckEventualStrongAccuracy(h *model.History, f *model.FailurePattern) *Violation {
+	var lastFalse model.Time = -1
+	var w, tgt model.ProcessID
+	for p := model.ProcessID(1); int(p) <= f.N(); p++ {
+		for _, s := range h.Samples(p) {
+			for _, q := range s.Out.Slice() {
+				if f.Alive(q, s.T) && s.T > lastFalse {
+					lastFalse, w, tgt = s.T, p, q
+				}
+			}
+		}
+	}
+	if lastFalse < 0 {
+		return nil // never a false suspicion
+	}
+	if lastFalse >= h.MaxTime()-stabilizationMargin(h) {
+		return &Violation{
+			Property: "eventual strong accuracy",
+			Watcher:  w, Target: tgt, At: lastFalse,
+			Detail: "false suspicions persist into the horizon's tail; no stabilization observed",
+		}
+	}
+	return nil
+}
+
+// CheckEventualWeakAccuracy verifies that eventually some correct
+// process is no longer suspected by anyone: there is a correct c
+// trusted by every watcher throughout the final tenth of the recorded
+// horizon.
+func CheckEventualWeakAccuracy(h *model.History, f *model.FailurePattern) *Violation {
+	for _, c := range f.Correct().Slice() {
+		var lastSusp model.Time = -1
+		for p := model.ProcessID(1); int(p) <= f.N(); p++ {
+			for _, s := range h.Samples(p) {
+				if s.Out.Has(c) && s.T > lastSusp {
+					lastSusp = s.T
+				}
+			}
+		}
+		if lastSusp < h.MaxTime()-stabilizationMargin(h) {
+			return nil // c is trusted by everyone through the tail
+		}
+	}
+	return &Violation{
+		Property: "eventual weak accuracy",
+		Detail:   "every correct process is still suspected by someone near the horizon",
+	}
+}
+
+// CheckPartialCompleteness verifies the P< property of §6.2: if p_i
+// crashes, eventually every correct p_j with j > i permanently
+// suspects p_i.
+func CheckPartialCompleteness(h *model.History, f *model.FailurePattern) *Violation {
+	for _, q := range f.Faulty().Slice() {
+		for _, p := range f.Correct().Slice() {
+			if p <= q {
+				continue
+			}
+			if _, ok := h.SuspectedFrom(p, q); !ok {
+				return &Violation{
+					Property: "partial completeness",
+					Watcher:  p, Target: q, At: h.MaxTime(),
+					Detail: fmt.Sprintf("correct %v (index > %v) does not permanently suspect crashed %v", p, q, q),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ClassReport is the verdict of every class-defining property over one
+// recorded history, plus the derived class memberships.
+type ClassReport struct {
+	StrongCompleteness     *Violation
+	WeakCompleteness       *Violation
+	StrongAccuracy         *Violation
+	WeakAccuracy           *Violation
+	EventualStrongAccuracy *Violation
+	EventualWeakAccuracy   *Violation
+	PartialCompleteness    *Violation
+}
+
+// Classify evaluates all property checkers over the history.
+func Classify(h *model.History, f *model.FailurePattern) ClassReport {
+	return ClassReport{
+		StrongCompleteness:     CheckStrongCompleteness(h, f),
+		WeakCompleteness:       CheckWeakCompleteness(h, f),
+		StrongAccuracy:         CheckStrongAccuracy(h, f),
+		WeakAccuracy:           CheckWeakAccuracy(h, f),
+		EventualStrongAccuracy: CheckEventualStrongAccuracy(h, f),
+		EventualWeakAccuracy:   CheckEventualWeakAccuracy(h, f),
+		PartialCompleteness:    CheckPartialCompleteness(h, f),
+	}
+}
+
+// InP reports membership in the Perfect class over this history.
+func (r ClassReport) InP() bool {
+	return r.StrongCompleteness == nil && r.StrongAccuracy == nil
+}
+
+// InS reports membership in the Strong class.
+func (r ClassReport) InS() bool {
+	return r.StrongCompleteness == nil && r.WeakAccuracy == nil
+}
+
+// InDiamondS reports membership in the Eventually Strong class.
+func (r ClassReport) InDiamondS() bool {
+	return r.StrongCompleteness == nil && r.EventualWeakAccuracy == nil
+}
+
+// InDiamondP reports membership in the Eventually Perfect class.
+func (r ClassReport) InDiamondP() bool {
+	return r.StrongCompleteness == nil && r.EventualStrongAccuracy == nil
+}
+
+// InPLess reports membership in the Partially Perfect class P< of
+// §6.2.
+func (r ClassReport) InPLess() bool {
+	return r.PartialCompleteness == nil && r.StrongAccuracy == nil
+}
+
+// String summarizes the memberships, e.g. "P ✓  S ✓  ◇S ✓  ◇P ✓  P< ✓".
+func (r ClassReport) String() string {
+	mark := func(b bool) string {
+		if b {
+			return "✓"
+		}
+		return "✗"
+	}
+	return fmt.Sprintf("P %s  S %s  ◇S %s  ◇P %s  P< %s",
+		mark(r.InP()), mark(r.InS()), mark(r.InDiamondS()), mark(r.InDiamondP()), mark(r.InPLess()))
+}

@@ -1,0 +1,141 @@
+package fd
+
+import (
+	"fmt"
+
+	"realisticfd/internal/model"
+)
+
+// EventuallyStrong is a realistic oracle of class ◇S: strong
+// completeness plus *eventual* weak accuracy. Before the
+// stabilization time GST it emits seeded false suspicions against
+// arbitrary processes; from GST on it suspects exactly the processes
+// whose crash is at least Delay old (which over-satisfies eventual
+// weak accuracy). All noise is a function of (Seed, p, q, t), so the
+// oracle is realistic by construction.
+//
+// This is the weakest class of the Chandra-Toueg hierarchy that solves
+// consensus — but only with a majority of correct processes. The E8
+// experiment shows the majority requirement; E2 uses a scripted
+// variant to rebuild the Lemma 4.1 adversary.
+type EventuallyStrong struct {
+	// GST is the global stabilization time: no false suspicions at or
+	// after GST.
+	GST model.Time
+	// Delay is the detection latency for genuine crashes.
+	Delay model.Time
+	// Seed drives pre-GST false suspicions.
+	Seed uint64
+	// FalseRate is the per-(p,q,t) false-suspicion probability before
+	// GST, expressed as a percentage 0..100.
+	FalseRate int
+}
+
+var _ Oracle = EventuallyStrong{}
+
+// Name implements Oracle.
+func (o EventuallyStrong) Name() string {
+	return fmt.Sprintf("◇S(gst=%d,delay=%d,rate=%d%%)", o.GST, o.Delay, o.FalseRate)
+}
+
+// Realistic implements Oracle.
+func (o EventuallyStrong) Realistic() bool { return true }
+
+// Output returns aged crashes plus, before GST, seeded false
+// suspicions.
+func (o EventuallyStrong) Output(f *model.FailurePattern, p model.ProcessID, t model.Time) model.ProcessSet {
+	out := model.EmptySet()
+	if t >= o.Delay {
+		out = f.CrashedAt(t - o.Delay)
+	}
+	if t >= o.GST {
+		return out
+	}
+	for q := model.ProcessID(1); int(q) <= f.N(); q++ {
+		if q == p {
+			continue
+		}
+		if int(noise(o.Seed, p, q, t)%100) < o.FalseRate {
+			out = out.Add(q)
+		}
+	}
+	return out
+}
+
+// EventuallyPerfect is a realistic oracle of class ◇P: strong
+// completeness plus eventual strong accuracy. Identical in shape to
+// EventuallyStrong; kept distinct so experiments can label class
+// membership precisely.
+type EventuallyPerfect struct {
+	GST       model.Time
+	Delay     model.Time
+	Seed      uint64
+	FalseRate int
+}
+
+var _ Oracle = EventuallyPerfect{}
+
+// Name implements Oracle.
+func (o EventuallyPerfect) Name() string {
+	return fmt.Sprintf("◇P(gst=%d,delay=%d,rate=%d%%)", o.GST, o.Delay, o.FalseRate)
+}
+
+// Realistic implements Oracle.
+func (o EventuallyPerfect) Realistic() bool { return true }
+
+// Output returns aged crashes plus, before GST, seeded false
+// suspicions.
+func (o EventuallyPerfect) Output(f *model.FailurePattern, p model.ProcessID, t model.Time) model.ProcessSet {
+	return EventuallyStrong(o).Output(f, p, t)
+}
+
+// SuspicionInterval is one scripted false suspicion: watcher P
+// suspects Target during [From, To).
+type SuspicionInterval struct {
+	P      model.ProcessID // 0 means every watcher
+	Target model.ProcessID
+	From   model.Time
+	To     model.Time
+}
+
+// Scripted is a realistic oracle whose false suspicions follow an
+// explicit script on top of a Perfect base. It is the adversary's
+// instrument in the Lemma 4.1 experiment (E2): by scripting "everyone
+// suspects p_j until time T" the adversary builds the run R1 in which
+// a decision's causal chain omits p_j, then extends the pattern with
+// crashes to obtain R2/R3 and force disagreement. The script is fixed
+// in advance — it does not read the pattern — so Scripted remains
+// realistic (it is a ◇S-style detector when the script is finite).
+type Scripted struct {
+	// Delay is the detection latency for genuine crashes.
+	Delay model.Time
+	// Script is the list of false-suspicion intervals.
+	Script []SuspicionInterval
+}
+
+var _ Oracle = Scripted{}
+
+// Name implements Oracle.
+func (o Scripted) Name() string {
+	return fmt.Sprintf("scripted(delay=%d,%d intervals)", o.Delay, len(o.Script))
+}
+
+// Realistic implements Oracle: the script is pattern-independent.
+func (o Scripted) Realistic() bool { return true }
+
+// Output returns aged crashes plus scripted suspicions active at t.
+func (o Scripted) Output(f *model.FailurePattern, p model.ProcessID, t model.Time) model.ProcessSet {
+	out := model.EmptySet()
+	if t >= o.Delay {
+		out = f.CrashedAt(t - o.Delay)
+	}
+	for _, iv := range o.Script {
+		if iv.P != 0 && iv.P != p {
+			continue
+		}
+		if t >= iv.From && t < iv.To {
+			out = out.Add(iv.Target)
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Package fd implements the failure-detector classes discussed in
+// "A Realistic Look At Failure Detectors" (DSN 2002): Perfect (P),
+// Strong (S), Eventually Strong (◇S), Eventually Perfect (◇P), the
+// Scribe and Marabout examples of §3.2, and the Partially Perfect
+// class P< of §6.2 — together with machine checkers for the
+// completeness/accuracy properties that define the classes and for the
+// realism predicate of §3.1.
+//
+// An Oracle is a deterministic representative of a failure-detector
+// class: for each failure pattern F it yields one history H ∈ D(F),
+// queried pointwise as Output(F, p, t). For deterministic oracles the
+// realism property of §3.1 ("∀ similar-prefix F, F′ the detector could
+// have produced the same prefix output") reduces to prefix
+// measurability: the output at time t may depend only on F|≤t. Oracles
+// that need non-determinism (noisy suspicions before stabilization)
+// derive it from a seed mixed with (p, q, t) only — never from the
+// pattern's future — so they remain realistic by construction.
+package fd
+
+import (
+	"realisticfd/internal/model"
+)
+
+// Oracle is a failure-detector oracle: one representative history per
+// failure pattern, queried pointwise.
+//
+// Implementations must be pure: two calls with the same arguments
+// return the same value, and calls must not retain or mutate f.
+type Oracle interface {
+	// Name identifies the oracle, e.g. "P(delay=3)".
+	Name() string
+
+	// Realistic reports whether the oracle claims to satisfy the
+	// realism property of §3.1. CheckRealism verifies the claim
+	// empirically; Marabout answers false here and is the paper's
+	// canonical non-realistic example.
+	Realistic() bool
+
+	// Output returns the suspicion set H(p, t) that process p sees at
+	// time t in the oracle's history for failure pattern f.
+	Output(f *model.FailurePattern, p model.ProcessID, t model.Time) model.ProcessSet
+}
+
+// splitmix64 is the deterministic mixing function used for seeded
+// noise. It depends only on its argument, so noise derived from
+// (seed, p, q, t) is measurable on the pattern prefix — i.e. realistic.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// noise returns a pseudorandom uint64 for the tuple (seed, p, q, t).
+func noise(seed uint64, p, q model.ProcessID, t model.Time) uint64 {
+	x := splitmix64(seed ^ uint64(p)<<40 ^ uint64(q)<<20)
+	return splitmix64(x ^ uint64(t))
+}
+
+// RecordHistory samples the oracle for every process alive at each
+// multiple of step up to and including horizon, producing the recorded
+// history used by the class checkers. Crashed processes stop querying
+// their modules, matching §2.3 (a crashed process takes no actions).
+func RecordHistory(o Oracle, f *model.FailurePattern, horizon, step model.Time) *model.History {
+	if step <= 0 {
+		step = 1
+	}
+	h := model.NewHistory(f.N())
+	for t := model.Time(0); t <= horizon; t += step {
+		for p := model.ProcessID(1); int(p) <= f.N(); p++ {
+			if f.Alive(p, t) {
+				h.Record(p, t, o.Output(f, p, t))
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,250 @@
+package fd
+
+import (
+	"testing"
+
+	"realisticfd/internal/model"
+)
+
+const (
+	testN       = 5
+	testHorizon = model.Time(200)
+)
+
+// classify runs an oracle over a pattern and classifies the recorded
+// history.
+func classify(t *testing.T, o Oracle, f *model.FailurePattern) ClassReport {
+	t.Helper()
+	h := RecordHistory(o, f, testHorizon, 1)
+	return Classify(h, f)
+}
+
+// twoCrashPattern has p2 crash early and p4 crash mid-run.
+func twoCrashPattern() *model.FailurePattern {
+	return model.MustPattern(testN).MustCrash(2, 20).MustCrash(4, 80)
+}
+
+func TestPerfectIsInP(t *testing.T) {
+	t.Parallel()
+	for _, delay := range []model.Time{0, 1, 5} {
+		r := classify(t, Perfect{Delay: delay}, twoCrashPattern())
+		if !r.InP() {
+			t.Errorf("Perfect(delay=%d) not in P: %+v", delay, r)
+		}
+		// P ⊆ S ⊆ ◇S and P ⊆ ◇P and P ⊆ P< over any history.
+		if !r.InS() || !r.InDiamondS() || !r.InDiamondP() || !r.InPLess() {
+			t.Errorf("Perfect(delay=%d) should be in every weaker class: %s", delay, r)
+		}
+	}
+}
+
+func TestPerfectOnFailureFreePattern(t *testing.T) {
+	t.Parallel()
+	f := model.MustPattern(testN)
+	h := RecordHistory(Perfect{Delay: 2}, f, testHorizon, 1)
+	for p := model.ProcessID(1); p <= testN; p++ {
+		for _, s := range h.Samples(p) {
+			if !s.Out.IsEmpty() {
+				t.Fatalf("Perfect suspected %v with no crashes at t=%d", s.Out, s.T)
+			}
+		}
+	}
+}
+
+func TestScribeMatchesPerfectZeroDelay(t *testing.T) {
+	t.Parallel()
+	f := twoCrashPattern()
+	for tt := model.Time(0); tt <= 100; tt += 7 {
+		for p := model.ProcessID(1); p <= testN; p++ {
+			a := Scribe{}.Output(f, p, tt)
+			b := Perfect{}.Output(f, p, tt)
+			if !a.Equal(b) {
+				t.Fatalf("Scribe(t=%d) = %v, Perfect(0) = %v", tt, a, b)
+			}
+		}
+	}
+}
+
+func TestScribePrefixIsFullNoteList(t *testing.T) {
+	t.Parallel()
+	f := model.MustPattern(testN).MustCrash(3, 4)
+	pre := Scribe{}.Prefix(f, 6)
+	if len(pre) != 7 {
+		t.Fatalf("Prefix(6) has %d entries, want 7", len(pre))
+	}
+	for u := 0; u <= 3; u++ {
+		if !pre[u].IsEmpty() {
+			t.Errorf("F(%d) = %v, want {}", u, pre[u])
+		}
+	}
+	for u := 4; u <= 6; u++ {
+		if !pre[u].Equal(model.NewProcessSet(3)) {
+			t.Errorf("F(%d) = %v, want {p3}", u, pre[u])
+		}
+	}
+}
+
+func TestMaraboutKnowsTheFuture(t *testing.T) {
+	t.Parallel()
+	f := model.MustPattern(testN).MustCrash(1, 100)
+	// At t=0, long before the crash, Marabout already outputs {p1}.
+	out := Marabout{}.Output(f, 3, 0)
+	if !out.Equal(model.NewProcessSet(1)) {
+		t.Fatalf("Marabout at t=0 = %v, want {p1}", out)
+	}
+	// Its history is constant.
+	m := Marabout{}
+	for tt := model.Time(0); tt <= 150; tt += 10 {
+		if !m.Output(f, 2, tt).Equal(out) {
+			t.Fatal("Marabout output not constant")
+		}
+	}
+}
+
+func TestMaraboutClassMembership(t *testing.T) {
+	t.Parallel()
+	// Per §3.2.2, M belongs to both ◇P and S of the original space,
+	// but not to P: it suspects processes before they crash.
+	r := classify(t, Marabout{}, twoCrashPattern())
+	if r.InP() {
+		t.Error("Marabout must not be in P (it is accurate about the future, not the past)")
+	}
+	if !r.InS() {
+		t.Errorf("Marabout should be in S: %+v", r.WeakAccuracy)
+	}
+	if !r.InDiamondP() {
+		t.Errorf("Marabout should be in ◇P: %+v", r.EventualStrongAccuracy)
+	}
+}
+
+func TestRealisticStrongCollapsesIntoP(t *testing.T) {
+	t.Parallel()
+	// §6.3: S ∩ R ⊂ P. Our realistic Strong oracle must satisfy strong
+	// accuracy even though S only demands weak accuracy.
+	o := RealisticStrong{BaseDelay: 2, Seed: 9, JitterMax: 5}
+	r := classify(t, o, twoCrashPattern())
+	if !r.InS() {
+		t.Fatalf("RealisticStrong not in S: %+v", r)
+	}
+	if !r.InP() {
+		t.Fatalf("RealisticStrong in S∩R but not in P — §6.3 collapse violated: %+v", r.StrongAccuracy)
+	}
+}
+
+func TestNonRealisticStrongIsStrongButNotPerfect(t *testing.T) {
+	t.Parallel()
+	o := NonRealisticStrong{Delay: 2, FalsePeriod: 10}
+	f := twoCrashPattern()
+	r := classify(t, o, f)
+	if !r.InS() {
+		t.Fatalf("NonRealisticStrong not in S: completeness=%v weakAcc=%v",
+			r.StrongCompleteness, r.WeakAccuracy)
+	}
+	if r.InP() {
+		t.Fatal("NonRealisticStrong must violate strong accuracy (it falsely suspects)")
+	}
+	// The protected process is the lowest-indexed correct one.
+	w := f.Correct().Min()
+	h := RecordHistory(o, f, testHorizon, 1)
+	for p := model.ProcessID(1); p <= testN; p++ {
+		if _, ever := h.EverSuspected(p, w); ever {
+			t.Fatalf("weak-accuracy anchor %v was suspected by %v", w, p)
+		}
+	}
+}
+
+func TestEventuallyStrongClasses(t *testing.T) {
+	t.Parallel()
+	o := EventuallyStrong{GST: 60, Delay: 2, Seed: 5, FalseRate: 25}
+	f := twoCrashPattern()
+	r := classify(t, o, f)
+	if !r.InDiamondS() {
+		t.Fatalf("◇S oracle not in ◇S: completeness=%v evWeakAcc=%v",
+			r.StrongCompleteness, r.EventualWeakAccuracy)
+	}
+	if r.InP() {
+		t.Fatal("noisy ◇S oracle must not be in P")
+	}
+	// Sanity: with FalseRate 25% and GST 60 there are real false
+	// suspicions before GST.
+	h := RecordHistory(o, f, testHorizon, 1)
+	if CheckStrongAccuracy(h, f) == nil {
+		t.Fatal("expected pre-GST false suspicions, found none")
+	}
+}
+
+func TestEventuallyPerfectClasses(t *testing.T) {
+	t.Parallel()
+	o := EventuallyPerfect{GST: 60, Delay: 2, Seed: 6, FalseRate: 25}
+	r := classify(t, o, twoCrashPattern())
+	if !r.InDiamondP() {
+		t.Fatalf("◇P oracle not in ◇P: %+v", r.EventualStrongAccuracy)
+	}
+	if r.InP() {
+		t.Fatal("noisy ◇P oracle must not be in P")
+	}
+}
+
+func TestScriptedOracle(t *testing.T) {
+	t.Parallel()
+	o := Scripted{
+		Delay: 1,
+		Script: []SuspicionInterval{
+			{P: 0, Target: 3, From: 10, To: 20}, // everyone suspects p3 in [10,20)
+			{P: 2, Target: 5, From: 0, To: 5},   // p2 suspects p5 in [0,5)
+		},
+	}
+	f := model.MustPattern(testN)
+	cases := []struct {
+		p    model.ProcessID
+		t    model.Time
+		want model.ProcessSet
+	}{
+		{1, 9, model.EmptySet()},
+		{1, 10, model.NewProcessSet(3)},
+		{4, 19, model.NewProcessSet(3)},
+		{4, 20, model.EmptySet()},
+		{2, 4, model.NewProcessSet(5)},
+		{3, 4, model.EmptySet()}, // interval scoped to watcher p2
+	}
+	for _, tc := range cases {
+		if got := o.Output(f, tc.p, tc.t); !got.Equal(tc.want) {
+			t.Errorf("Output(%v, t=%d) = %v, want %v", tc.p, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestPartiallyPerfect(t *testing.T) {
+	t.Parallel()
+	o := PartiallyPerfect{Delay: 2}
+	f := twoCrashPattern() // p2@20, p4@80 crash
+	r := classify(t, o, f)
+	if !r.InPLess() {
+		t.Fatalf("P< oracle not in P<: partial=%v strongAcc=%v",
+			r.PartialCompleteness, r.StrongAccuracy)
+	}
+	// P< is strictly weaker than P here: p1 never learns of p2's crash.
+	if r.InP() {
+		t.Fatal("P< oracle must not satisfy strong completeness (p1 cannot see p2)")
+	}
+	h := RecordHistory(o, f, testHorizon, 1)
+	if _, ever := h.EverSuspected(1, 2); ever {
+		t.Fatal("p1 (lower index) must never suspect p2 under P<")
+	}
+	if _, ok := h.SuspectedFrom(3, 2); !ok {
+		t.Fatal("p3 (higher index) must permanently suspect crashed p2 under P<")
+	}
+}
+
+func TestRecordHistoryStopsQueryingAfterCrash(t *testing.T) {
+	t.Parallel()
+	f := model.MustPattern(testN).MustCrash(2, 10)
+	h := RecordHistory(Perfect{}, f, 50, 1)
+	ss := h.Samples(2)
+	if len(ss) == 0 {
+		t.Fatal("p2 should have samples before its crash")
+	}
+	if last := ss[len(ss)-1].T; last >= 10 {
+		t.Fatalf("crashed p2 queried at t=%d ≥ crash time 10", last)
+	}
+}

@@ -1,0 +1,44 @@
+package fd
+
+import (
+	"fmt"
+
+	"realisticfd/internal/model"
+)
+
+// PartiallyPerfect is the class P< of §6.2 (after Guerraoui, WDAG
+// 1995): strong accuracy plus *partial* completeness — if p_i crashes,
+// then eventually every correct p_j with j > i permanently suspects
+// p_i. Lower-indexed processes learn nothing about higher-indexed
+// ones.
+//
+// P< is strictly weaker than P when the number of failures is
+// unbounded, yet it solves correct-restricted (non-uniform) consensus;
+// that gap is the paper's proof that uniform consensus is strictly
+// harder than consensus (E6).
+type PartiallyPerfect struct {
+	// Delay is the detection latency for crashes of lower-indexed
+	// processes.
+	Delay model.Time
+}
+
+var _ Oracle = PartiallyPerfect{}
+
+// Name implements Oracle.
+func (o PartiallyPerfect) Name() string { return fmt.Sprintf("P<(delay=%d)", o.Delay) }
+
+// Realistic implements Oracle.
+func (o PartiallyPerfect) Realistic() bool { return true }
+
+// Output suspects, at watcher p, exactly the crashed processes with
+// index lower than p whose crash is at least Delay old.
+func (o PartiallyPerfect) Output(f *model.FailurePattern, p model.ProcessID, t model.Time) model.ProcessSet {
+	if t < o.Delay {
+		return model.EmptySet()
+	}
+	var lower model.ProcessSet
+	for q := model.ProcessID(1); q < p; q++ {
+		lower = lower.Add(q)
+	}
+	return f.CrashedAt(t - o.Delay).Intersect(lower)
+}

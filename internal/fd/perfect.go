@@ -1,0 +1,101 @@
+package fd
+
+import (
+	"fmt"
+
+	"realisticfd/internal/model"
+)
+
+// Perfect is a realistic oracle of class P: strong completeness (every
+// crashed process is eventually permanently suspected by every correct
+// process) and strong accuracy (no process is suspected before it
+// crashes).
+//
+// Delay models the detection latency of the synchrony assumptions P
+// encapsulates: a crash at time c becomes visible at time c+Delay.
+// Suspicion at time t therefore reveals only crashes at times ≤ t,
+// which is exactly prefix measurability — Perfect is realistic for any
+// Delay ≥ 0.
+type Perfect struct {
+	// Delay is the detection latency in clock ticks; zero means crashes
+	// are seen instantly.
+	Delay model.Time
+}
+
+var _ Oracle = Perfect{}
+
+// Name implements Oracle.
+func (o Perfect) Name() string { return fmt.Sprintf("P(delay=%d)", o.Delay) }
+
+// Realistic implements Oracle. Perfect detectors are accurate about
+// the past only.
+func (o Perfect) Realistic() bool { return true }
+
+// Output returns the set of processes whose crash is at least Delay
+// ticks old at time t.
+func (o Perfect) Output(f *model.FailurePattern, p model.ProcessID, t model.Time) model.ProcessSet {
+	if t < o.Delay {
+		return model.EmptySet()
+	}
+	return f.CrashedAt(t - o.Delay)
+}
+
+// Scribe is the failure detector C of §3.2.1: it "sees what happens at
+// all processes at real time and takes notes". Its full range is the
+// pattern prefix F[t]; Output projects the note-taking onto the
+// standard suspicion range by returning the last entry F(t), and
+// Prefix exposes the complete list of values of F up to t.
+//
+// The Scribe is realistic — it actually belongs to P — and is the
+// paper's example that realism does not limit how much of the *past* a
+// detector may know.
+type Scribe struct{}
+
+var _ Oracle = Scribe{}
+
+// Name implements Oracle.
+func (Scribe) Name() string { return "C(scribe)" }
+
+// Realistic implements Oracle.
+func (Scribe) Realistic() bool { return true }
+
+// Output returns F(t), the processes crashed through time t.
+func (Scribe) Output(f *model.FailurePattern, _ model.ProcessID, t model.Time) model.ProcessSet {
+	return f.CrashedAt(t)
+}
+
+// Prefix returns the Scribe's true output F[t]: the list of the values
+// of F at every time 0..t.
+func (Scribe) Prefix(f *model.FailurePattern, t model.Time) []model.ProcessSet {
+	out := make([]model.ProcessSet, 0, int(t)+1)
+	for u := model.Time(0); u <= t; u++ {
+		out = append(out, f.CrashedAt(u))
+	}
+	return out
+}
+
+// Marabout is the failure detector M of §3.2.2 (after Guerraoui,
+// IPL 2001): at every process and every time its output is the
+// constant list of *faulty* processes in F — it knows, from time zero,
+// who will ever crash.
+//
+// Marabout is the paper's canonical non-realistic detector: it is
+// accurate about the future, belongs to ◇P and S of the original
+// Chandra-Toueg space, is incomparable with P, and cannot be
+// implemented even in a perfectly synchronous system. §6.1 shows it
+// solves consensus trivially with unbounded crashes, which is why the
+// paper's lower bound must exclude it.
+type Marabout struct{}
+
+var _ Oracle = Marabout{}
+
+// Name implements Oracle.
+func (Marabout) Name() string { return "M(marabout)" }
+
+// Realistic implements Oracle: Marabout guesses the future.
+func (Marabout) Realistic() bool { return false }
+
+// Output returns faulty(F) regardless of p and t.
+func (Marabout) Output(f *model.FailurePattern, _ model.ProcessID, _ model.Time) model.ProcessSet {
+	return f.Faulty()
+}

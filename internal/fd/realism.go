@@ -1,0 +1,162 @@
+package fd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"realisticfd/internal/model"
+)
+
+// RealismViolation is a witness that an oracle violates the realism
+// property of §3.1: two failure patterns that agree through Cut, for
+// which the oracle's histories already differ at time T ≤ Cut. A
+// realistic detector cannot distinguish failure patterns by what will
+// happen in the future.
+type RealismViolation struct {
+	F, FPrime *model.FailurePattern
+	Cut       model.Time
+	P         model.ProcessID
+	T         model.Time
+	Out       model.ProcessSet
+	OutPrime  model.ProcessSet
+}
+
+// Error renders the witness; *RealismViolation satisfies error.
+func (v *RealismViolation) Error() string {
+	if v == nil {
+		return "<realistic>"
+	}
+	return fmt.Sprintf("realism violated: %v and %v agree through t=%d, yet H(%v,%d)=%v in F and %v in F'",
+		v.F, v.FPrime, v.Cut, v.P, v.T, v.Out, v.OutPrime)
+}
+
+// CheckRealism searches for a realism violation of a deterministic
+// oracle over a family of pattern pairs: for each generated pattern F
+// and each of its crashes (q, c), it compares the oracle's outputs in
+// F against those in F-with-that-crash-erased over the common prefix
+// [0, c-1]. For a deterministic oracle (one history per pattern) the
+// §3.1 property is exactly prefix measurability, which this test
+// refutes by counterexample. A nil result means no violation was found
+// over the searched family — evidence, not proof, of realism.
+func CheckRealism(o Oracle, n int, horizon model.Time, seeds int) *RealismViolation {
+	patterns := realismPatternFamily(n, horizon, seeds)
+	for _, f := range patterns {
+		for _, q := range f.Faulty().Slice() {
+			c, _ := f.CrashTime(q)
+			if c == 0 {
+				continue // no common prefix to compare
+			}
+			fPrime := eraseCrash(f, q)
+			if v := comparePrefix(o, f, fPrime, c-1); v != nil {
+				return v
+			}
+		}
+	}
+	// Cross-compare random pattern pairs on their (possibly empty)
+	// common prefixes.
+	for i := 0; i+1 < len(patterns); i++ {
+		f, g := patterns[i], patterns[i+1]
+		cut := commonPrefix(f, g, horizon)
+		if cut < 0 {
+			continue
+		}
+		if v := comparePrefix(o, f, g, cut); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// comparePrefix compares the oracle's outputs in f and g at every
+// process and every time ≤ cut.
+func comparePrefix(o Oracle, f, g *model.FailurePattern, cut model.Time) *RealismViolation {
+	for t := model.Time(0); t <= cut; t++ {
+		for p := model.ProcessID(1); int(p) <= f.N(); p++ {
+			// Only compare at processes alive in both patterns; a
+			// crashed process takes no steps and sees nothing.
+			if !f.Alive(p, t) || !g.Alive(p, t) {
+				continue
+			}
+			a, b := o.Output(f, p, t), o.Output(g, p, t)
+			if !a.Equal(b) {
+				return &RealismViolation{
+					F: f.Clone(), FPrime: g.Clone(), Cut: cut,
+					P: p, T: t, Out: a, OutPrime: b,
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// eraseCrash returns a copy of f in which q never crashes.
+func eraseCrash(f *model.FailurePattern, q model.ProcessID) *model.FailurePattern {
+	cp := model.MustPattern(f.N())
+	for _, r := range f.Faulty().Slice() {
+		if r == q {
+			continue
+		}
+		ct, _ := f.CrashTime(r)
+		cp.MustCrash(r, ct)
+	}
+	return cp
+}
+
+// commonPrefix returns the largest t ≤ horizon with F|≤t = G|≤t, or -1
+// if the patterns already differ at t=0.
+func commonPrefix(f, g *model.FailurePattern, horizon model.Time) model.Time {
+	if f.N() != g.N() {
+		return -1
+	}
+	lo, hi := model.Time(-1), horizon
+	// SamePrefix is monotone in t, so binary search works.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if f.SamePrefix(g, mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// realismPatternFamily generates the canonical §3.2.2 pair (single
+// crash mid-run vs failure-free) plus seeded multi-crash patterns.
+func realismPatternFamily(n int, horizon model.Time, seeds int) []*model.FailurePattern {
+	var out []*model.FailurePattern
+	out = append(out, model.MustPattern(n)) // failure-free
+	// Single crashes across times and processes.
+	for p := 1; p <= n; p++ {
+		for _, frac := range []model.Time{4, 2} {
+			t := horizon / frac
+			if t == 0 {
+				t = 1
+			}
+			out = append(out, model.MustPattern(n).MustCrash(model.ProcessID(p), t))
+		}
+	}
+	// Random multi-crash patterns.
+	for s := 0; s < seeds; s++ {
+		r := rand.New(rand.NewSource(int64(s) + 42))
+		f := model.MustPattern(n)
+		for p := 1; p <= n; p++ {
+			if r.Intn(3) == 0 {
+				f.MustCrash(model.ProcessID(p), model.Time(r.Int63n(int64(horizon)+1)))
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// MaraboutWitness reproduces the exact argument of §3.2.2: F1 has p1
+// crash at time 10 and everyone else correct; F2 is failure-free. The
+// two agree through T = 9, yet Marabout outputs {p1} at every time in
+// F1 and ∅ in F2 — already at t ≤ 9. The returned violation is that
+// witness.
+func MaraboutWitness(n int) *RealismViolation {
+	f1 := model.MustPattern(n).MustCrash(1, 10)
+	f2 := model.MustPattern(n)
+	return comparePrefix(Marabout{}, f1, f2, 9)
+}

@@ -1,0 +1,124 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"realisticfd/internal/model"
+)
+
+func TestRealisticOraclesPassCheckRealism(t *testing.T) {
+	t.Parallel()
+	oracles := []Oracle{
+		Perfect{},
+		Perfect{Delay: 3},
+		Scribe{},
+		RealisticStrong{BaseDelay: 1, Seed: 4, JitterMax: 4},
+		EventuallyStrong{GST: 40, Delay: 1, Seed: 7, FalseRate: 30},
+		EventuallyPerfect{GST: 40, Delay: 1, Seed: 8, FalseRate: 30},
+		PartiallyPerfect{Delay: 2},
+		Scripted{Delay: 1, Script: []SuspicionInterval{{Target: 2, From: 5, To: 15}}},
+	}
+	for _, o := range oracles {
+		o := o
+		t.Run(o.Name(), func(t *testing.T) {
+			t.Parallel()
+			if !o.Realistic() {
+				t.Fatalf("%s should claim realism", o.Name())
+			}
+			if v := CheckRealism(o, 5, 100, 12); v != nil {
+				t.Fatalf("%s flagged non-realistic: %v", o.Name(), v)
+			}
+		})
+	}
+}
+
+func TestMaraboutFailsCheckRealism(t *testing.T) {
+	t.Parallel()
+	v := CheckRealism(Marabout{}, 5, 100, 12)
+	if v == nil {
+		t.Fatal("CheckRealism found no violation for Marabout")
+	}
+	// The witness must be genuine: patterns agree through the cut, yet
+	// outputs differ at T ≤ Cut.
+	if !v.F.SamePrefix(v.FPrime, v.Cut) {
+		t.Fatalf("witness patterns do not agree through cut %d: %v vs %v", v.Cut, v.F, v.FPrime)
+	}
+	if v.T > v.Cut {
+		t.Fatalf("witness time %d beyond cut %d", v.T, v.Cut)
+	}
+	if v.Out.Equal(v.OutPrime) {
+		t.Fatal("witness outputs are equal")
+	}
+}
+
+func TestNonRealisticStrongFailsCheckRealism(t *testing.T) {
+	t.Parallel()
+	v := CheckRealism(NonRealisticStrong{Delay: 1, FalsePeriod: 10}, 5, 100, 12)
+	if v == nil {
+		t.Fatal("CheckRealism found no violation for NonRealisticStrong")
+	}
+	if !v.F.SamePrefix(v.FPrime, v.Cut) || v.T > v.Cut {
+		t.Fatalf("malformed witness: %v", v)
+	}
+}
+
+func TestMaraboutWitnessReproducesSection322(t *testing.T) {
+	t.Parallel()
+	v := MaraboutWitness(5)
+	if v == nil {
+		t.Fatal("§3.2.2 witness not found")
+	}
+	if v.Cut != 9 {
+		t.Errorf("witness cut = %d, want 9 (patterns agree through t=9)", v.Cut)
+	}
+	// In F1 (p1 crashes at 10) Marabout outputs {p1} at all times; in
+	// F2 (failure-free) it outputs {}.
+	if !v.Out.Equal(model.NewProcessSet(1)) && !v.OutPrime.Equal(model.NewProcessSet(1)) {
+		t.Errorf("witness outputs %v / %v, one should be {p1}", v.Out, v.OutPrime)
+	}
+	msg := v.Error()
+	if !strings.Contains(msg, "agree through") {
+		t.Errorf("witness message %q", msg)
+	}
+}
+
+func TestCommonPrefixBinarySearch(t *testing.T) {
+	t.Parallel()
+	f := model.MustPattern(5).MustCrash(1, 10)
+	g := model.MustPattern(5)
+	if got := commonPrefix(f, g, 100); got != 9 {
+		t.Errorf("commonPrefix = %d, want 9", got)
+	}
+	// Identical patterns agree through the horizon.
+	if got := commonPrefix(f, f.Clone(), 100); got != 100 {
+		t.Errorf("commonPrefix(identical) = %d, want 100", got)
+	}
+	// Immediate disagreement.
+	h := model.MustPattern(5).MustCrash(1, 0)
+	if got := commonPrefix(h, g, 100); got != -1 {
+		t.Errorf("commonPrefix(disjoint at 0) = %d, want -1", got)
+	}
+}
+
+func TestClassReportString(t *testing.T) {
+	t.Parallel()
+	f := twoCrashPattern()
+	h := RecordHistory(Perfect{}, f, testHorizon, 1)
+	s := Classify(h, f).String()
+	if !strings.Contains(s, "P ✓") {
+		t.Errorf("report = %q, want P ✓", s)
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	t.Parallel()
+	var v *Violation
+	if got := v.Error(); got != "<no violation>" {
+		t.Errorf("nil violation Error = %q", got)
+	}
+	v = &Violation{Property: "strong accuracy", Watcher: 1, Target: 2, At: 3, Detail: "boom"}
+	if got := v.Error(); !strings.Contains(got, "strong accuracy") || !strings.Contains(got, "boom") {
+		t.Errorf("Error = %q", got)
+	}
+}

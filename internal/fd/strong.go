@@ -1,0 +1,107 @@
+package fd
+
+import (
+	"fmt"
+
+	"realisticfd/internal/model"
+)
+
+// RealisticStrong is a realistic oracle of class S (strong
+// completeness + weak accuracy). Section 6.3 of the paper proves that
+// within the realistic space, S collapses into P: a realistic Strong
+// detector that ever falsely suspected a process could be continued by
+// a pattern in which every other process crashes, violating weak
+// accuracy. RealisticStrong therefore never falsely suspects anyone —
+// it is Perfect with per-watcher heterogeneous detection delays — and
+// the E7 experiment verifies that its histories satisfy strong (not
+// just weak) accuracy.
+type RealisticStrong struct {
+	// BaseDelay is the minimum detection latency.
+	BaseDelay model.Time
+	// Seed scatters per-(watcher, target) extra latency in
+	// [0, JitterMax] to exercise the checkers with non-uniform delays.
+	Seed uint64
+	// JitterMax bounds the extra latency; zero means uniform delays.
+	JitterMax model.Time
+}
+
+var _ Oracle = RealisticStrong{}
+
+// Name implements Oracle.
+func (o RealisticStrong) Name() string {
+	return fmt.Sprintf("S∩R(base=%d,jitter=%d)", o.BaseDelay, o.JitterMax)
+}
+
+// Realistic implements Oracle.
+func (o RealisticStrong) Realistic() bool { return true }
+
+// Output suspects q at watcher p once q's crash is BaseDelay plus a
+// deterministic per-(p,q) jitter old.
+func (o RealisticStrong) Output(f *model.FailurePattern, p model.ProcessID, t model.Time) model.ProcessSet {
+	var out model.ProcessSet
+	for q := model.ProcessID(1); int(q) <= f.N(); q++ {
+		ct, crashed := f.CrashTime(q)
+		if !crashed {
+			continue
+		}
+		d := o.BaseDelay
+		if o.JitterMax > 0 {
+			d += model.Time(noise(o.Seed, p, q, 0) % uint64(o.JitterMax+1))
+		}
+		if ct+d <= t {
+			out = out.Add(q)
+		}
+	}
+	return out
+}
+
+// NonRealisticStrong is a Strong detector from the *original*
+// Chandra-Toueg space that is not realistic: it knows correct(F) from
+// time zero and protects the lowest-indexed correct process from
+// suspicion (weak accuracy by fiat about the future) while issuing
+// deterministic false suspicions against everybody else. It witnesses
+// that S ⊄ P in the unrestricted space — and CheckRealism exhibits a
+// pattern pair proving it guesses the future, which is how §6.3
+// reconciles "S solves consensus with unbounded crashes" with "P is
+// the weakest realistic class".
+type NonRealisticStrong struct {
+	// Delay is the detection latency for genuine crashes.
+	Delay model.Time
+	// FalsePeriod sets the cadence of rotating false suspicions; a
+	// false suspicion against target q ≠ w is emitted during
+	// [k*FalsePeriod, (k+1)*FalsePeriod) whenever k ≡ q (mod n).
+	FalsePeriod model.Time
+}
+
+var _ Oracle = NonRealisticStrong{}
+
+// Name implements Oracle.
+func (o NonRealisticStrong) Name() string {
+	return fmt.Sprintf("S¬R(delay=%d,period=%d)", o.Delay, o.FalsePeriod)
+}
+
+// Realistic implements Oracle: the protected process is chosen from
+// correct(F), which is future information.
+func (o NonRealisticStrong) Realistic() bool { return false }
+
+// Output returns crashes plus a rotating false suspicion, never
+// suspecting w = min correct(F).
+func (o NonRealisticStrong) Output(f *model.FailurePattern, p model.ProcessID, t model.Time) model.ProcessSet {
+	period := o.FalsePeriod
+	if period <= 0 {
+		period = 10
+	}
+	w := f.Correct().Min() // future knowledge: who never crashes
+
+	out := model.EmptySet()
+	if t >= o.Delay {
+		out = f.CrashedAt(t - o.Delay)
+	}
+	// Rotating false suspicion of one non-protected process at a time.
+	k := int(t/period) % f.N()
+	target := model.ProcessID(k + 1)
+	if target != w {
+		out = out.Add(target)
+	}
+	return out.Remove(w)
+}

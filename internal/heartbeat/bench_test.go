@@ -1,0 +1,55 @@
+package heartbeat
+
+import (
+	"testing"
+	"time"
+)
+
+func feed(est Estimator, n int) time.Time {
+	t := time.Unix(0, 0)
+	for i := 0; i < n; i++ {
+		t = t.Add(20 * time.Millisecond)
+		est.Observe(t)
+	}
+	return t
+}
+
+func BenchmarkPhiCalculation(b *testing.B) {
+	b.ReportAllocs()
+	p := &PhiAccrual{Window: 128, Threshold: 8, MinStdDev: time.Millisecond}
+	last := feed(p, 256)
+	q := last.Add(35 * time.Millisecond)
+	for i := 0; i < b.N; i++ {
+		_ = p.Phi(q)
+	}
+}
+
+func BenchmarkChenSuspect(b *testing.B) {
+	b.ReportAllocs()
+	c := &Chen{Window: 32, Alpha: 30 * time.Millisecond}
+	last := feed(c, 64)
+	q := last.Add(35 * time.Millisecond)
+	for i := 0; i < b.N; i++ {
+		_ = c.Suspect(q)
+	}
+}
+
+func BenchmarkFixedSuspect(b *testing.B) {
+	b.ReportAllocs()
+	f := &FixedTimeout{Timeout: 50 * time.Millisecond}
+	last := feed(f, 4)
+	q := last.Add(35 * time.Millisecond)
+	for i := 0; i < b.N; i++ {
+		_ = f.Suspect(q)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	b.ReportAllocs()
+	p := &PhiAccrual{Window: 128}
+	t := time.Unix(0, 0)
+	for i := 0; i < b.N; i++ {
+		t = t.Add(20 * time.Millisecond)
+		p.Observe(t)
+	}
+}

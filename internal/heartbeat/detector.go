@@ -1,0 +1,161 @@
+package heartbeat
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"realisticfd/internal/model"
+	"realisticfd/internal/transport"
+)
+
+// EnvelopeType tags heartbeat traffic on a shared transport.
+const EnvelopeType = "heartbeat"
+
+// Emitter periodically sends heartbeats to a set of peers. It owns a
+// single goroutine; Close signals it to stop and waits for it.
+type Emitter struct {
+	tr       transport.Transport
+	peers    []model.ProcessID
+	interval time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewEmitter starts heartbeating immediately.
+func NewEmitter(tr transport.Transport, peers []model.ProcessID, interval time.Duration) *Emitter {
+	e := &Emitter{
+		tr:       tr,
+		peers:    append([]model.ProcessID(nil), peers...),
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go e.run()
+	return e
+}
+
+func (e *Emitter) run() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.interval)
+	defer ticker.Stop()
+	seq := uint64(0)
+	e.beat(seq) // first beat immediately, not one interval in
+	for {
+		select {
+		case <-ticker.C:
+			seq++
+			e.beat(seq)
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *Emitter) beat(seq uint64) {
+	body := strconv.FormatUint(seq, 10)
+	for _, p := range e.peers {
+		env := transport.Envelope{To: p, Type: EnvelopeType}
+		if err := env.Marshal(body); err != nil {
+			continue
+		}
+		_ = e.tr.Send(env) // losses are the network's business
+	}
+}
+
+// Close stops the emitter and waits for its goroutine to exit.
+func (e *Emitter) Close() {
+	e.once.Do(func() { close(e.stop) })
+	<-e.done
+}
+
+// Detector consumes heartbeat envelopes from a transport and maintains
+// one Estimator per monitored peer. It owns the receive goroutine;
+// Close stops it. Non-heartbeat envelopes are forwarded to Forward,
+// letting other protocols share the transport.
+type Detector struct {
+	tr      transport.Transport
+	forward chan transport.Envelope
+
+	mu         sync.Mutex
+	estimators map[model.ProcessID]Estimator
+
+	done chan struct{}
+}
+
+// NewDetector monitors the given peers, building an estimator per
+// peer with newEst.
+func NewDetector(tr transport.Transport, peers []model.ProcessID, newEst func() Estimator) *Detector {
+	d := &Detector{
+		tr:         tr,
+		forward:    make(chan transport.Envelope, 64),
+		estimators: make(map[model.ProcessID]Estimator, len(peers)),
+		done:       make(chan struct{}),
+	}
+	start := time.Now()
+	for _, p := range peers {
+		est := newEst()
+		if es, ok := est.(EpochSetter); ok {
+			es.SetEpoch(start)
+		}
+		d.estimators[p] = est
+	}
+	go d.run()
+	return d
+}
+
+// Forward yields the non-heartbeat envelopes received on the shared
+// transport. The channel closes when the detector stops.
+func (d *Detector) Forward() <-chan transport.Envelope { return d.forward }
+
+func (d *Detector) run() {
+	defer close(d.done)
+	defer close(d.forward)
+	for env := range d.tr.Recv() {
+		if env.Type != EnvelopeType {
+			select {
+			case d.forward <- env:
+			default: // slow consumer: drop rather than stall detection
+			}
+			continue
+		}
+		d.mu.Lock()
+		if est, ok := d.estimators[env.From]; ok {
+			est.Observe(time.Now())
+		}
+		d.mu.Unlock()
+	}
+}
+
+// Suspects returns the set of peers currently suspected.
+func (d *Detector) Suspects() model.ProcessSet {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out model.ProcessSet
+	for p, est := range d.estimators {
+		if est.Suspect(now) {
+			out = out.Add(p)
+		}
+	}
+	return out
+}
+
+// Suspect reports whether one peer is currently suspected.
+func (d *Detector) Suspect(p model.ProcessID) bool {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	est, ok := d.estimators[p]
+	return ok && est.Suspect(now)
+}
+
+// Close stops the receive loop (by closing the underlying transport)
+// and waits for it. The transport is closed as a side effect: the
+// detector owns the receiving end.
+func (d *Detector) Close() {
+	_ = d.tr.Close()
+	<-d.done
+}

@@ -1,0 +1,172 @@
+package heartbeat
+
+import (
+	"testing"
+	"time"
+
+	"realisticfd/internal/model"
+	"realisticfd/internal/transport"
+)
+
+// waitUntil polls cond every ms up to limit.
+func waitUntil(limit time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+func TestDetectorOverChanNetwork(t *testing.T) {
+	t.Parallel()
+	net, err := transport.NewChanNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const interval = 5 * time.Millisecond
+	peersOf := func(self model.ProcessID) []model.ProcessID {
+		var out []model.ProcessID
+		for q := model.ProcessID(1); q <= 4; q++ {
+			if q != self {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+
+	// Node 1 monitors everyone; nodes 2-4 emit heartbeats.
+	det := NewDetector(net.Node(1), peersOf(1), func() Estimator {
+		return &FixedTimeout{Timeout: 50 * time.Millisecond}
+	})
+	var emitters []*Emitter
+	for q := model.ProcessID(2); q <= 4; q++ {
+		emitters = append(emitters, NewEmitter(net.Node(q), peersOf(q), interval))
+	}
+
+	// Everyone trusted while beating.
+	if !waitUntil(2*time.Second, func() bool {
+		return det.Suspects().IsEmpty() && !det.Suspect(3)
+	}) {
+		t.Fatal("healthy peers suspected")
+	}
+	// Hold the trust for a few timeouts.
+	time.Sleep(120 * time.Millisecond)
+	if s := det.Suspects(); !s.IsEmpty() {
+		t.Fatalf("healthy peers suspected after warmup: %v", s)
+	}
+
+	// Kill node 3's heartbeats (transport-level isolation = crash).
+	net.Isolate(3)
+	if !waitUntil(2*time.Second, func() bool {
+		return det.Suspects().Equal(model.NewProcessSet(3))
+	}) {
+		t.Fatalf("crash of p3 not detected; suspects = %v", det.Suspects())
+	}
+
+	for _, e := range emitters {
+		e.Close()
+	}
+	det.Close() // closes the shared network via node 1
+}
+
+func TestDetectorForwardsForeignTraffic(t *testing.T) {
+	t.Parallel()
+	net, err := transport.NewChanNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(net.Node(2), []model.ProcessID{1}, func() Estimator {
+		return &FixedTimeout{Timeout: time.Second}
+	})
+
+	env := transport.Envelope{To: 2, Type: "membership"}
+	if err := net.Node(1).Send(env); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-det.Forward():
+		if got.Type != "membership" || got.From != 1 {
+			t.Fatalf("forwarded %+v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("foreign envelope not forwarded")
+	}
+	det.Close()
+	// Forward channel closes on shutdown.
+	if _, ok := <-det.Forward(); ok {
+		t.Fatal("forward channel still open after Close")
+	}
+}
+
+func TestEmitterStopsCleanly(t *testing.T) {
+	t.Parallel()
+	net, err := transport.NewChanNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	e := NewEmitter(net.Node(1), []model.ProcessID{2}, time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	e.Close()
+	// Drain what was sent so far.
+	n2 := net.Node(2)
+	count := 0
+	for {
+		select {
+		case <-n2.Recv():
+			count++
+			continue
+		case <-time.After(20 * time.Millisecond):
+		}
+		break
+	}
+	if count == 0 {
+		t.Fatal("emitter never beat")
+	}
+	// No further beats after Close.
+	select {
+	case <-n2.Recv():
+		t.Fatal("heartbeat after Close")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestDetectorOverTCP(t *testing.T) {
+	t.Parallel()
+	nodes, err := transport.NewTCPCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peers := []model.ProcessID{2}
+	det := NewDetector(nodes[0], peers, func() Estimator {
+		return &PhiAccrual{Window: 32, Threshold: 4, MinStdDev: 2 * time.Millisecond}
+	})
+	em := NewEmitter(nodes[1], []model.ProcessID{1}, 5*time.Millisecond)
+
+	// Let the estimator accumulate real inter-arrival samples (φ needs
+	// at least two heartbeats before it can judge anything).
+	time.Sleep(150 * time.Millisecond)
+	if det.Suspect(2) {
+		t.Fatal("live TCP peer suspected")
+	}
+	// Kill the emitter: suspicion must follow.
+	em.Close()
+	_ = nodes[1].Close()
+	if !waitUntil(3*time.Second, func() bool { return det.Suspect(2) }) {
+		t.Fatal("dead TCP peer not suspected")
+	}
+
+	det.Close()
+	CloseRest(nodes[2:])
+}
+
+// CloseRest closes remaining cluster nodes (helper shared with other
+// tests).
+func CloseRest(nodes []*transport.TCPNode) {
+	transport.CloseTCPCluster(nodes)
+}

@@ -1,0 +1,164 @@
+package heartbeat
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// base is an arbitrary virtual-time origin.
+var base = time.Unix(1000, 0)
+
+func at(d time.Duration) time.Time { return base.Add(d) }
+
+func TestFixedTimeout(t *testing.T) {
+	t.Parallel()
+	f := &FixedTimeout{Timeout: 100 * time.Millisecond}
+	// Before any heartbeat: initial grace, no suspicion.
+	if f.Suspect(at(time.Hour)) {
+		t.Fatal("suspected before first heartbeat")
+	}
+	f.Observe(at(0))
+	if f.Suspect(at(100 * time.Millisecond)) {
+		t.Fatal("suspected exactly at the timeout boundary")
+	}
+	if !f.Suspect(at(101 * time.Millisecond)) {
+		t.Fatal("not suspected past the timeout")
+	}
+	// A new heartbeat clears the suspicion.
+	f.Observe(at(150 * time.Millisecond))
+	if f.Suspect(at(200 * time.Millisecond)) {
+		t.Fatal("suspected 50ms after a fresh heartbeat")
+	}
+	// Stale (out-of-order) arrivals don't move the clock backwards.
+	f.Observe(at(120 * time.Millisecond))
+	if f.Suspect(at(200 * time.Millisecond)) {
+		t.Fatal("stale arrival rewound the estimator")
+	}
+}
+
+func TestChenAdaptsToInterval(t *testing.T) {
+	t.Parallel()
+	c := &Chen{Window: 4, Alpha: 20 * time.Millisecond}
+	// Regular 100ms heartbeats.
+	for i := 0; i <= 5; i++ {
+		c.Observe(at(time.Duration(i) * 100 * time.Millisecond))
+	}
+	last := at(500 * time.Millisecond)
+	// Expected next ≈ last+100ms; margin 20ms ⇒ deadline ≈ last+120ms.
+	if c.Suspect(last.Add(110 * time.Millisecond)) {
+		t.Fatal("suspected before the adaptive deadline")
+	}
+	if !c.Suspect(last.Add(130 * time.Millisecond)) {
+		t.Fatal("not suspected after the adaptive deadline")
+	}
+}
+
+func TestChenAdaptsToSlowerInterval(t *testing.T) {
+	t.Parallel()
+	// The same estimator fed 300ms heartbeats must not suspect at
+	// +150ms — a fixed 120ms timeout would.
+	c := &Chen{Window: 4, Alpha: 20 * time.Millisecond}
+	for i := 0; i <= 5; i++ {
+		c.Observe(at(time.Duration(i) * 300 * time.Millisecond))
+	}
+	last := at(1500 * time.Millisecond)
+	if c.Suspect(last.Add(150 * time.Millisecond)) {
+		t.Fatal("Chen ignored the observed 300ms cadence")
+	}
+	if !c.Suspect(last.Add(330 * time.Millisecond)) {
+		t.Fatal("Chen missed a genuinely late heartbeat")
+	}
+}
+
+func TestChenSingleArrival(t *testing.T) {
+	t.Parallel()
+	c := &Chen{Window: 4, Alpha: 50 * time.Millisecond}
+	c.Observe(at(0))
+	if c.Suspect(at(40 * time.Millisecond)) {
+		t.Fatal("suspected within margin after a single arrival")
+	}
+	if !c.Suspect(at(60 * time.Millisecond)) {
+		t.Fatal("not suspected past margin after a single arrival")
+	}
+}
+
+func TestPhiGrowsWithSilence(t *testing.T) {
+	t.Parallel()
+	p := &PhiAccrual{Window: 16, Threshold: 8, MinStdDev: 5 * time.Millisecond}
+	for i := 0; i <= 10; i++ {
+		p.Observe(at(time.Duration(i) * 100 * time.Millisecond))
+	}
+	last := at(time.Second)
+	phiSoon := p.Phi(last.Add(50 * time.Millisecond))
+	phiLate := p.Phi(last.Add(200 * time.Millisecond))
+	phiVeryLate := p.Phi(last.Add(500 * time.Millisecond))
+	if !(phiSoon < phiLate && phiLate < phiVeryLate) {
+		t.Fatalf("φ not monotone: %v, %v, %v", phiSoon, phiLate, phiVeryLate)
+	}
+	if p.Suspect(last.Add(50 * time.Millisecond)) {
+		t.Fatal("suspected at φ(50ms) with threshold 8")
+	}
+	if !p.Suspect(last.Add(time.Second)) {
+		t.Fatal("not suspected after 10 missed intervals")
+	}
+}
+
+func TestPhiToleratesJitterByWideningStd(t *testing.T) {
+	t.Parallel()
+	// Irregular arrivals: 60..140ms alternating. The learned variance
+	// must keep φ low at 150ms of silence.
+	p := &PhiAccrual{Window: 16, Threshold: 8, MinStdDev: time.Millisecond}
+	ts := time.Duration(0)
+	for i := 0; i < 16; i++ {
+		if i%2 == 0 {
+			ts += 60 * time.Millisecond
+		} else {
+			ts += 140 * time.Millisecond
+		}
+		p.Observe(at(ts))
+	}
+	if p.Suspect(at(ts + 150*time.Millisecond)) {
+		t.Fatal("φ-accrual suspected within learned jitter band")
+	}
+}
+
+func TestPhiBeforeAnyArrival(t *testing.T) {
+	t.Parallel()
+	p := &PhiAccrual{Window: 4, Threshold: 8}
+	if got := p.Phi(at(time.Hour)); got != 0 {
+		t.Fatalf("Phi with no arrivals = %v, want 0", got)
+	}
+	if p.Suspect(at(time.Hour)) {
+		t.Fatal("suspected before first heartbeat")
+	}
+}
+
+func TestPhiInfinityOnExtremeSilence(t *testing.T) {
+	t.Parallel()
+	p := &PhiAccrual{Window: 8, Threshold: 8, MinStdDev: time.Millisecond}
+	for i := 0; i <= 8; i++ {
+		p.Observe(at(time.Duration(i) * 10 * time.Millisecond))
+	}
+	phi := p.Phi(at(time.Hour))
+	if !math.IsInf(phi, 1) && phi < 100 {
+		t.Fatalf("φ after an hour of silence = %v, want very large", phi)
+	}
+}
+
+func TestEstimatorNames(t *testing.T) {
+	t.Parallel()
+	ests := []Estimator{
+		&FixedTimeout{Timeout: time.Second},
+		&Chen{Window: 8, Alpha: time.Millisecond},
+		&PhiAccrual{Window: 8, Threshold: 8},
+	}
+	seen := map[string]bool{}
+	for _, e := range ests {
+		n := e.Name()
+		if n == "" || seen[n] {
+			t.Fatalf("estimator name %q empty or duplicated", n)
+		}
+		seen[n] = true
+	}
+}

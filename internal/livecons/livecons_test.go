@@ -1,0 +1,228 @@
+package livecons
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/heartbeat"
+	"realisticfd/internal/model"
+	"realisticfd/internal/transport"
+)
+
+// collectDecisions waits for each node to decide, up to limit.
+func collectDecisions(t *testing.T, nodes map[model.ProcessID]*Node, limit time.Duration) map[model.ProcessID]consensus.Value {
+	t.Helper()
+	out := make(map[model.ProcessID]consensus.Value, len(nodes))
+	deadline := time.After(limit)
+	for p, nd := range nodes {
+		select {
+		case v := <-nd.Decided():
+			out[p] = v
+		case <-deadline:
+			t.Fatalf("%v did not decide within %v", p, limit)
+		}
+	}
+	return out
+}
+
+func staticSuspects(s model.ProcessSet) SuspicionSource {
+	return func() model.ProcessSet { return s }
+}
+
+func TestLiveConsensusFailureFree(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	net, err := transport.NewChanNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := map[model.ProcessID]*Node{}
+	demuxes := make([]*transport.Demux, 0, n)
+	for p := model.ProcessID(1); p <= n; p++ {
+		dm := transport.NewDemux(net.Node(p).Recv())
+		demuxes = append(demuxes, dm)
+		nd, err := NewNode(Config{
+			Transport: net.Node(p),
+			N:         n,
+			Proposal:  consensus.Value(fmt.Sprintf("v%d", p)),
+			Suspects:  staticSuspects(model.EmptySet()),
+			Envelopes: dm.Chan(EnvelopeType),
+			Tick:      2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[p] = nd
+	}
+
+	decs := collectDecisions(t, nodes, 10*time.Second)
+	for p, v := range decs {
+		if v != "v1" {
+			t.Errorf("%v decided %q, want v1 (lowest entry of the common vector)", p, v)
+		}
+	}
+	for _, nd := range nodes {
+		nd.Close()
+	}
+	_ = net.Close()
+}
+
+func TestLiveConsensusWithDeadMember(t *testing.T) {
+	t.Parallel()
+	// p2 never starts; the others' detector module (static here)
+	// reports it — the live analogue of an unbounded-crash run.
+	const n = 5
+	net, err := transport.NewChanNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := map[model.ProcessID]*Node{}
+	for p := model.ProcessID(1); p <= n; p++ {
+		if p == 2 {
+			continue
+		}
+		dm := transport.NewDemux(net.Node(p).Recv())
+		nd, err := NewNode(Config{
+			Transport: net.Node(p),
+			N:         n,
+			Proposal:  consensus.Value(fmt.Sprintf("v%d", p)),
+			Suspects:  staticSuspects(model.NewProcessSet(2)),
+			Envelopes: dm.Chan(EnvelopeType),
+			Tick:      2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[p] = nd
+	}
+
+	decs := collectDecisions(t, nodes, 10*time.Second)
+	var ref consensus.Value
+	for _, v := range decs {
+		if ref == consensus.NoValue {
+			ref = v
+		} else if v != ref {
+			t.Fatalf("disagreement: %v", decs)
+		}
+	}
+	if ref == "v2" {
+		t.Fatal("decided the dead member's value")
+	}
+	for _, nd := range nodes {
+		nd.Close()
+	}
+	_ = net.Close()
+}
+
+func TestLiveConsensusSurvivesMessageLoss(t *testing.T) {
+	t.Parallel()
+	// 25% loss: retransmission must still get everyone to the same
+	// decision (the reliable-channel emulation of §2.4 condition 5).
+	const n = 4
+	net, err := transport.NewChanNetwork(n, transport.WithDrop(25), transport.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := map[model.ProcessID]*Node{}
+	for p := model.ProcessID(1); p <= n; p++ {
+		dm := transport.NewDemux(net.Node(p).Recv())
+		nd, err := NewNode(Config{
+			Transport: net.Node(p),
+			N:         n,
+			Proposal:  consensus.Value(fmt.Sprintf("v%d", p)),
+			Suspects:  staticSuspects(model.EmptySet()),
+			Envelopes: dm.Chan(EnvelopeType),
+			Tick:      time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[p] = nd
+	}
+
+	decs := collectDecisions(t, nodes, 20*time.Second)
+	for p, v := range decs {
+		if v != decs[1] {
+			t.Fatalf("disagreement at %v: %v", p, decs)
+		}
+	}
+	for _, nd := range nodes {
+		nd.Close()
+	}
+	_ = net.Close()
+}
+
+// TestFullStackOverTCP is the flagship integration: TCP transport,
+// heartbeat emitters, φ-accrual detectors as the failure-detector
+// module, and the verified flooding automaton deciding — with one
+// node killed before the vote.
+func TestFullStackOverTCP(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	tcp, err := transport.NewTCPCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peersOf := func(self model.ProcessID) []model.ProcessID {
+		var out []model.ProcessID
+		for q := model.ProcessID(1); q <= n; q++ {
+			if q != self {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+
+	// Node 4 is dead on arrival: close its transport immediately.
+	_ = tcp[3].Close()
+
+	dets := map[model.ProcessID]*heartbeat.Detector{}
+	ems := map[model.ProcessID]*heartbeat.Emitter{}
+	nodes := map[model.ProcessID]*Node{}
+	for p := model.ProcessID(1); p <= 3; p++ {
+		det := heartbeat.NewDetector(tcp[p-1], peersOf(p), func() heartbeat.Estimator {
+			return &heartbeat.FixedTimeout{Timeout: 80 * time.Millisecond}
+		})
+		dets[p] = det
+		ems[p] = heartbeat.NewEmitter(tcp[p-1], peersOf(p), 10*time.Millisecond)
+		dm := transport.NewDemux(det.Forward())
+		nd, err := NewNode(Config{
+			Transport: tcp[p-1],
+			N:         n,
+			Proposal:  consensus.Value(fmt.Sprintf("v%d", p)),
+			Suspects:  det.Suspects,
+			Envelopes: dm.Chan(EnvelopeType),
+			Tick:      10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[p] = nd
+	}
+
+	decs := collectDecisions(t, nodes, 20*time.Second)
+	for p, v := range decs {
+		if v != decs[1] {
+			t.Fatalf("disagreement at %v: %v", p, decs)
+		}
+		if v == "v4" {
+			t.Fatal("decided the dead node's value")
+		}
+	}
+
+	for _, nd := range nodes {
+		nd.Close()
+	}
+	for _, e := range ems {
+		e.Close()
+	}
+	for _, d := range dets {
+		d.Close()
+	}
+}

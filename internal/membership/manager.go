@@ -1,0 +1,183 @@
+package membership
+
+import (
+	"sync"
+	"time"
+
+	"realisticfd/internal/model"
+	"realisticfd/internal/transport"
+)
+
+// EnvelopeType tags membership traffic on a shared transport.
+const EnvelopeType = "membership"
+
+// wireView is the JSON form of a View.
+type wireView struct {
+	ID      int               `json:"id"`
+	Issuer  model.ProcessID   `json:"issuer"`
+	Members []model.ProcessID `json:"members"`
+}
+
+func toWire(v View) wireView {
+	return wireView{ID: v.ID, Issuer: v.Issuer, Members: v.Members.Slice()}
+}
+
+func fromWire(w wireView) View {
+	return View{ID: w.ID, Issuer: w.Issuer, Members: model.NewProcessSet(w.Members...)}
+}
+
+// SuspicionSource supplies the local failure-detector output, e.g.
+// (*heartbeat.Detector).Suspects.
+type SuspicionSource func() model.ProcessSet
+
+// Manager runs the membership protocol for one node: it polls the
+// local suspicion source, lets the Machine issue exclusion views when
+// this node is primary, broadcasts them, and installs views received
+// from peers (delivered through the envelopes channel, typically a
+// heartbeat.Detector's Forward stream).
+type Manager struct {
+	tr      transport.Transport
+	n       int
+	suspect SuspicionSource
+	in      <-chan transport.Envelope
+	period  time.Duration
+
+	mu      sync.Mutex
+	machine *Machine
+	history []View
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewManager starts the membership loop. envelopes must yield the
+// membership-typed traffic of this node's transport; poll sets how
+// often local suspicions are re-examined.
+func NewManager(tr transport.Transport, n int, suspect SuspicionSource, envelopes <-chan transport.Envelope, poll time.Duration) *Manager {
+	m := &Manager{
+		tr:      tr,
+		n:       n,
+		suspect: suspect,
+		in:      envelopes,
+		period:  poll,
+		machine: NewMachine(tr.Self(), n),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go m.run()
+	return m
+}
+
+// View returns the node's current view.
+func (m *Manager) View() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.machine.View()
+}
+
+// Excluded returns the emulated output(P) at this node.
+func (m *Manager) Excluded() model.ProcessSet {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.machine.Excluded()
+}
+
+// Dead reports whether this node has been excluded and stopped
+// participating.
+func (m *Manager) Dead() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.machine.Dead()
+}
+
+// History returns the sequence of views installed at this node, in
+// installation order (view 0 excluded).
+func (m *Manager) History() []View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]View(nil), m.history...)
+}
+
+// Close stops the manager loop and waits for it.
+func (m *Manager) Close() {
+	m.once.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+func (m *Manager) run() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case env, ok := <-m.in:
+			if !ok {
+				return
+			}
+			if env.Type != EnvelopeType {
+				continue
+			}
+			var w wireView
+			if err := env.Unmarshal(&w); err != nil {
+				continue
+			}
+			m.install(fromWire(w))
+		case <-ticker.C:
+			m.poll()
+		}
+	}
+}
+
+// poll re-examines local suspicions and issues a view if primary; a
+// primary also retransmits its current view so that exclusions
+// eventually reach members that were unreachable when the view was
+// issued (the suicide rule needs the news to arrive).
+func (m *Manager) poll() {
+	susp := m.suspect()
+	m.mu.Lock()
+	next := m.machine.ProposeExclusion(susp)
+	cur := m.machine.View()
+	isPrimary := !m.machine.Dead() && m.machine.Primary(susp) == m.tr.Self()
+	var recipients []model.ProcessID
+	if next != nil {
+		// Broadcast to everyone in the *old* view — the excluded must
+		// learn of their exclusion so they stop (suicide rule).
+		recipients = cur.Members.Remove(m.tr.Self()).Slice()
+	}
+	m.mu.Unlock()
+
+	if next != nil {
+		m.broadcast(*next, recipients)
+		m.install(*next)
+		return
+	}
+	if isPrimary && cur.ID > 0 {
+		all := model.AllProcesses(m.n).Remove(m.tr.Self()).Slice()
+		m.broadcast(cur, all)
+	}
+}
+
+// install applies a view and records it.
+func (m *Manager) install(v View) {
+	m.mu.Lock()
+	installed := m.machine.HandleView(v)
+	if installed {
+		m.history = append(m.history, v)
+	}
+	m.mu.Unlock()
+}
+
+// broadcast sends a view to the given members.
+func (m *Manager) broadcast(v View, to []model.ProcessID) {
+	w := toWire(v)
+	for _, p := range to {
+		env := transport.Envelope{To: p, Type: EnvelopeType}
+		if err := env.Marshal(w); err != nil {
+			continue
+		}
+		_ = m.tr.Send(env)
+	}
+}

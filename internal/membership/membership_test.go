@@ -1,0 +1,343 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"realisticfd/internal/heartbeat"
+	"realisticfd/internal/model"
+	"realisticfd/internal/transport"
+)
+
+func TestMachineInitialView(t *testing.T) {
+	t.Parallel()
+	m := NewMachine(2, 5)
+	v := m.View()
+	if v.ID != 0 || !v.Members.Equal(model.AllProcesses(5)) {
+		t.Fatalf("initial view = %v", v)
+	}
+	if m.Dead() {
+		t.Fatal("fresh machine dead")
+	}
+	if !m.Excluded().IsEmpty() {
+		t.Fatalf("fresh machine excludes %v", m.Excluded())
+	}
+}
+
+func TestMachinePrimaryProposesExclusion(t *testing.T) {
+	t.Parallel()
+	m := NewMachine(1, 5) // p1 is the initial primary
+	next := m.ProposeExclusion(model.NewProcessSet(3))
+	if next == nil {
+		t.Fatal("primary refused to exclude a suspect")
+	}
+	if !next.Members.Equal(model.NewProcessSet(1, 2, 4, 5)) || next.ID != 1 || next.Issuer != 1 {
+		t.Fatalf("proposed %v", next)
+	}
+	// Not yet installed: ProposeExclusion only drafts.
+	if m.View().ID != 0 {
+		t.Fatal("ProposeExclusion installed the view itself")
+	}
+	if !m.HandleView(*next) {
+		t.Fatal("issuer could not install its own view")
+	}
+	if !m.Excluded().Equal(model.NewProcessSet(3)) {
+		t.Fatalf("excluded = %v", m.Excluded())
+	}
+}
+
+func TestMachineNonPrimaryDoesNotIssue(t *testing.T) {
+	t.Parallel()
+	m := NewMachine(2, 5) // p1 alive and unsuspected ⇒ p2 is not primary
+	if next := m.ProposeExclusion(model.NewProcessSet(3)); next != nil {
+		t.Fatalf("non-primary issued %v", next)
+	}
+	// Once p1 is itself suspected, p2 becomes primary and excludes
+	// both.
+	next := m.ProposeExclusion(model.NewProcessSet(1, 3))
+	if next == nil {
+		t.Fatal("new primary refused to issue")
+	}
+	if !next.Members.Equal(model.NewProcessSet(2, 4, 5)) {
+		t.Fatalf("members = %v", next.Members)
+	}
+}
+
+func TestMachineSelfSuspicionIgnored(t *testing.T) {
+	t.Parallel()
+	m := NewMachine(1, 5)
+	if next := m.ProposeExclusion(model.NewProcessSet(1)); next != nil {
+		t.Fatalf("machine excluded itself: %v", next)
+	}
+}
+
+func TestMachineQuorumRule(t *testing.T) {
+	t.Parallel()
+	// n=5 ⇒ quorum 3. A machine that suspects everyone else may not
+	// install a solipsist view; one that suspects two others may.
+	m := NewMachine(1, 5)
+	if m.Quorum() != 3 {
+		t.Fatalf("Quorum = %d, want 3", m.Quorum())
+	}
+	if next := m.ProposeExclusion(model.NewProcessSet(2, 3, 4, 5)); next != nil {
+		t.Fatalf("minority islet issued %v — split-brain risk", next)
+	}
+	next := m.ProposeExclusion(model.NewProcessSet(4, 5))
+	if next == nil {
+		t.Fatal("majority-preserving exclusion refused")
+	}
+	if next.Members.Len() != 3 {
+		t.Fatalf("survivors = %v", next.Members)
+	}
+}
+
+func TestMachineInstallRules(t *testing.T) {
+	t.Parallel()
+	m := NewMachine(4, 5)
+	v1 := View{ID: 1, Issuer: 1, Members: model.NewProcessSet(1, 2, 4, 5)}
+	if !m.HandleView(v1) {
+		t.Fatal("v1 rejected")
+	}
+	// Same ID, higher-ranked issuer: rejected.
+	if m.HandleView(View{ID: 1, Issuer: 2, Members: model.NewProcessSet(1, 2, 4)}) {
+		t.Fatal("same-ID higher-rank issuer won")
+	}
+	// Lower ID: rejected.
+	if m.HandleView(View{ID: 0, Issuer: 1, Members: model.NewProcessSet(1, 2, 3, 4, 5)}) {
+		t.Fatal("stale view installed")
+	}
+	// Growing view (resurrects p3): rejected even with higher ID.
+	if m.HandleView(View{ID: 2, Issuer: 1, Members: model.NewProcessSet(1, 2, 3, 4)}) {
+		t.Fatal("resurrecting view installed")
+	}
+	// Proper successor: installed.
+	if !m.HandleView(View{ID: 2, Issuer: 1, Members: model.NewProcessSet(1, 4, 5)}) {
+		t.Fatal("valid successor rejected")
+	}
+	if !m.Excluded().Equal(model.NewProcessSet(2, 3)) {
+		t.Fatalf("excluded = %v", m.Excluded())
+	}
+}
+
+func TestMachineSuicideOnExclusion(t *testing.T) {
+	t.Parallel()
+	m := NewMachine(3, 5)
+	v := View{ID: 1, Issuer: 1, Members: model.NewProcessSet(1, 2, 4, 5)}
+	if !m.HandleView(v) {
+		t.Fatal("exclusion view rejected")
+	}
+	if !m.Dead() {
+		t.Fatal("excluded machine still alive — the suicide rule is what makes suspicions accurate")
+	}
+	// A dead machine neither issues nor installs.
+	if next := m.ProposeExclusion(model.NewProcessSet(2)); next != nil {
+		t.Fatal("dead machine issued a view")
+	}
+	if m.HandleView(View{ID: 2, Issuer: 1, Members: model.NewProcessSet(1, 2)}) {
+		t.Fatal("dead machine installed a view")
+	}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	t.Parallel()
+	a := View{ID: 1, Issuer: 3}
+	cases := []struct {
+		b    View
+		want bool
+	}{
+		{View{ID: 2, Issuer: 5}, true},
+		{View{ID: 1, Issuer: 2}, true},
+		{View{ID: 1, Issuer: 3}, false},
+		{View{ID: 1, Issuer: 4}, false},
+		{View{ID: 0, Issuer: 1}, false},
+	}
+	for _, tc := range cases {
+		if got := Better(a, tc.b); got != tc.want {
+			t.Errorf("Better(%v, %v) = %v, want %v", a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestClusterExcludesCrashedNode is the end-to-end E9 scenario:
+// heartbeats over an in-process network, a node silenced, membership
+// converging on its exclusion, output(P) complete and
+// accurate-by-exclusion at every survivor.
+func TestClusterExcludesCrashedNode(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	net, err := transport.NewChanNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peersOf := func(self model.ProcessID) []model.ProcessID {
+		var out []model.ProcessID
+		for q := model.ProcessID(1); q <= n; q++ {
+			if q != self {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+
+	var (
+		dets     [n + 1]*heartbeat.Detector
+		emitters [n + 1]*heartbeat.Emitter
+		mgrs     [n + 1]*Manager
+	)
+	for p := model.ProcessID(1); p <= n; p++ {
+		det := heartbeat.NewDetector(net.Node(p), peersOf(p), func() heartbeat.Estimator {
+			return &heartbeat.FixedTimeout{Timeout: 60 * time.Millisecond}
+		})
+		dets[p] = det
+		emitters[p] = heartbeat.NewEmitter(net.Node(p), peersOf(p), 5*time.Millisecond)
+		mgrs[p] = NewManager(net.Node(p), n, det.Suspects, det.Forward(), 10*time.Millisecond)
+	}
+
+	// Warm up, then silence node 4 (transport isolation ≈ crash).
+	time.Sleep(150 * time.Millisecond)
+	for p := model.ProcessID(1); p <= n; p++ {
+		if ex := mgrs[p].Excluded(); !ex.IsEmpty() {
+			t.Fatalf("%v excluded %v during healthy warmup", p, ex)
+		}
+	}
+	net.Isolate(4)
+	emitters[4].Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	want := model.NewProcessSet(4)
+	for {
+		allDone := true
+		for p := model.ProcessID(1); p <= n; p++ {
+			if p == 4 {
+				continue
+			}
+			if !mgrs[p].Excluded().Equal(want) {
+				allDone = false
+			}
+		}
+		if allDone || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	for p := model.ProcessID(1); p <= n; p++ {
+		if p == 4 {
+			continue
+		}
+		if ex := mgrs[p].Excluded(); !ex.Equal(want) {
+			t.Errorf("%v: output(P) = %v, want {p4}", p, ex)
+		}
+		// View history is monotone (IDs strictly increase, members
+		// shrink).
+		hist := mgrs[p].History()
+		for i := 1; i < len(hist); i++ {
+			if hist[i].ID <= hist[i-1].ID || !hist[i].Members.SubsetOf(hist[i-1].Members) {
+				t.Errorf("%v: non-monotone history %v", p, hist)
+			}
+		}
+	}
+
+	// Survivors agree on the final view.
+	ref := mgrs[1].View()
+	for p := model.ProcessID(2); p <= n; p++ {
+		if p == 4 {
+			continue
+		}
+		if v := mgrs[p].View(); v.ID != ref.ID || !v.Members.Equal(ref.Members) {
+			t.Errorf("view disagreement: %v has %v, p1 has %v", p, v, ref)
+		}
+	}
+
+	for p := model.ProcessID(1); p <= n; p++ {
+		mgrs[p].Close()
+		emitters[p].Close()
+	}
+	for p := model.ProcessID(1); p <= n; p++ {
+		dets[p].Close()
+	}
+}
+
+// TestFalseSuspicionMadeAccurateByExclusion shows the paper's §1.3
+// observation end to end: a *live* node is falsely suspected (its
+// links are cut, it keeps running), membership excludes it, and the
+// suicide rule turns the false suspicion into a true one.
+func TestFalseSuspicionMadeAccurateByExclusion(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	net, err := transport.NewChanNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peersOf := func(self model.ProcessID) []model.ProcessID {
+		var out []model.ProcessID
+		for q := model.ProcessID(1); q <= n; q++ {
+			if q != self {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+
+	var (
+		dets     [n + 1]*heartbeat.Detector
+		emitters [n + 1]*heartbeat.Emitter
+		mgrs     [n + 1]*Manager
+	)
+	for p := model.ProcessID(1); p <= n; p++ {
+		det := heartbeat.NewDetector(net.Node(p), peersOf(p), func() heartbeat.Estimator {
+			return &heartbeat.FixedTimeout{Timeout: 50 * time.Millisecond}
+		})
+		dets[p] = det
+		emitters[p] = heartbeat.NewEmitter(net.Node(p), peersOf(p), 5*time.Millisecond)
+		mgrs[p] = NewManager(net.Node(p), n, det.Suspects, det.Forward(), 10*time.Millisecond)
+	}
+
+	time.Sleep(120 * time.Millisecond)
+	// Cut p2's outbound heartbeats only — p2 is alive but looks dead.
+	for q := model.ProcessID(1); q <= n; q++ {
+		if q != 2 {
+			net.Partition(2, q)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if mgrs[1].Excluded().Has(2) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !mgrs[1].Excluded().Has(2) {
+		t.Fatal("false suspect never excluded")
+	}
+
+	// Heal the partition: the exclusion view reaches p2, which
+	// commits suicide — the suspicion is now accurate.
+	for q := model.ProcessID(1); q <= n; q++ {
+		if q != 2 {
+			net.Heal(2, q)
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !mgrs[2].Dead() {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !mgrs[2].Dead() {
+		t.Fatal("excluded node did not learn of its exclusion after heal")
+	}
+	// Its exclusion never heals: output(P) is monotone.
+	if !mgrs[1].Excluded().Has(2) {
+		t.Fatal("exclusion healed — output(P) must be monotone")
+	}
+
+	for p := model.ProcessID(1); p <= n; p++ {
+		mgrs[p].Close()
+		emitters[p].Close()
+	}
+	for p := model.ProcessID(1); p <= n; p++ {
+		dets[p].Close()
+	}
+}

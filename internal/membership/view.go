@@ -1,0 +1,154 @@
+// Package membership implements an exclusion-based group membership
+// service — the mechanism the paper identifies (§1.3) as what real
+// systems use to emulate a Perfect failure detector: "when a process
+// is suspected, i.e., timed-out, it is excluded from the group: every
+// suspicion hence turns out to be accurate".
+//
+// Views only ever shrink. A process that learns it has been excluded
+// stops participating (commits suicide), which is precisely the trick
+// that converts an unreliable timeout-based detector into an accurate
+// one: the suspicion is made true after the fact. The adapter
+// Excluded() exposes the emulated output(P).
+//
+// The view-issue rule is the classic primary-partition sketch: the
+// lowest-ranked member a process does not suspect is its primary; a
+// process that believes itself primary issues the next view excluding
+// the suspects; receivers install views by (higher ID, then
+// lower-ranked issuer). Under crash-driven suspicions this converges
+// to identical monotone view sequences at all survivors; the known
+// limitations of primary-partition GMS under partitions apply and are
+// exercised in the tests.
+package membership
+
+import (
+	"fmt"
+
+	"realisticfd/internal/model"
+)
+
+// View is one membership epoch.
+type View struct {
+	// ID increases by at least one per installed view.
+	ID int
+	// Issuer is the member that issued the view.
+	Issuer model.ProcessID
+	// Members is the surviving group.
+	Members model.ProcessSet
+}
+
+// String renders the view.
+func (v View) String() string {
+	return fmt.Sprintf("view#%d%v by %v", v.ID, v.Members, v.Issuer)
+}
+
+// Better reports whether candidate should replace current: strictly
+// higher ID wins; at equal IDs the lower-ranked issuer wins (the true
+// primary eventually outranks pretenders).
+func Better(current, candidate View) bool {
+	if candidate.ID != current.ID {
+		return candidate.ID > current.ID
+	}
+	return candidate.Issuer < current.Issuer
+}
+
+// Machine is the pure, deterministic view state machine of one member.
+// It has no goroutines and no clocks; the Manager (or a test) drives
+// it with suspicions and received views.
+type Machine struct {
+	self model.ProcessID
+	n    int
+	view View
+	dead bool // excluded (or told to die): stop participating
+}
+
+// NewMachine starts in view 0 with all n processes and no issuer.
+func NewMachine(self model.ProcessID, n int) *Machine {
+	return &Machine{
+		self: self,
+		n:    n,
+		view: View{ID: 0, Issuer: 0, Members: model.AllProcesses(n)},
+	}
+}
+
+// View returns the current view.
+func (m *Machine) View() View { return m.view }
+
+// Dead reports whether this member has been excluded and must stop
+// participating.
+func (m *Machine) Dead() bool { return m.dead }
+
+// Excluded returns the emulated output(P): every process excluded
+// from the group so far. Views only shrink, so this output is
+// monotone — suspicions never heal, exactly like P once the excluded
+// process is forced to stop.
+func (m *Machine) Excluded() model.ProcessSet {
+	return model.AllProcesses(m.n).Diff(m.view.Members)
+}
+
+// Primary returns the member this machine currently takes orders
+// from: the lowest-ranked member it does not suspect.
+func (m *Machine) Primary(susp model.ProcessSet) model.ProcessID {
+	return m.view.Members.Diff(susp).Min()
+}
+
+// Quorum returns the minimum view size, ⌈(n+1)/2⌉ over the initial
+// membership: the primary-partition rule. A node (or minority
+// islet) that suspects everyone else cannot install a private view of
+// itself — it must wait, and will eventually receive (and obey) the
+// majority side's exclusion. This is the engineering cost of
+// emulating P live: the *oracle* P of the theory needs no majority,
+// but a safe live emulation does, which is exactly the gap the
+// paper's realism discussion illuminates.
+func (m *Machine) Quorum() int { return m.n/2 + 1 }
+
+// ProposeExclusion is called with the current local suspicion set. If
+// this machine believes itself primary, some member is suspected, and
+// the surviving view would retain a quorum, it returns the next view
+// to broadcast; otherwise it returns nil. The caller broadcasts the
+// returned view to all members of the *current* view (including the
+// excluded ones — they must learn they are out) and feeds it back
+// through HandleView.
+func (m *Machine) ProposeExclusion(susp model.ProcessSet) *View {
+	if m.dead {
+		return nil
+	}
+	toDrop := m.view.Members.Intersect(susp).Remove(m.self)
+	if toDrop.IsEmpty() {
+		return nil
+	}
+	if m.Primary(susp) != m.self {
+		return nil // not our call; report to the primary instead
+	}
+	survivors := m.view.Members.Diff(toDrop)
+	if survivors.Len() < m.Quorum() {
+		return nil // minority side: freeze rather than split-brain
+	}
+	next := View{
+		ID:      m.view.ID + 1,
+		Issuer:  m.self,
+		Members: survivors,
+	}
+	return &next
+}
+
+// HandleView installs a received view if it beats the current one.
+// It returns true when the view was installed. Installing a view that
+// excludes self marks the machine dead.
+func (m *Machine) HandleView(v View) bool {
+	if m.dead {
+		return false
+	}
+	// Views must shrink: ignore a view that resurrects members the
+	// current view already excluded (stale or byzantine traffic).
+	if !v.Members.SubsetOf(m.view.Members) {
+		return false
+	}
+	if !Better(m.view, v) {
+		return false
+	}
+	m.view = v
+	if !v.Members.Has(m.self) {
+		m.dead = true
+	}
+	return true
+}

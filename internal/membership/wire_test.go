@@ -1,0 +1,37 @@
+package membership
+
+import (
+	"testing"
+
+	"realisticfd/internal/model"
+)
+
+func TestWireViewRoundTrip(t *testing.T) {
+	t.Parallel()
+	v := View{ID: 3, Issuer: 2, Members: model.NewProcessSet(2, 4, 5)}
+	got := fromWire(toWire(v))
+	if got.ID != v.ID || got.Issuer != v.Issuer || !got.Members.Equal(v.Members) {
+		t.Fatalf("round trip = %v, want %v", got, v)
+	}
+	// Empty membership survives too (a fully-collapsed group).
+	e := View{ID: 9, Issuer: 1}
+	if got := fromWire(toWire(e)); !got.Members.IsEmpty() || got.ID != 9 {
+		t.Fatalf("empty round trip = %v", got)
+	}
+}
+
+func TestManagerHistoryIsCopied(t *testing.T) {
+	t.Parallel()
+	// History returns a snapshot the caller can't corrupt.
+	m := NewMachine(1, 5)
+	v1 := View{ID: 1, Issuer: 1, Members: model.NewProcessSet(1, 2, 3, 4)}
+	if !m.HandleView(v1) {
+		t.Fatal("install failed")
+	}
+	mgr := &Manager{machine: m, history: []View{v1}}
+	h := mgr.History()
+	h[0].ID = 999
+	if mgr.History()[0].ID != 1 {
+		t.Fatal("History exposed internal state")
+	}
+}

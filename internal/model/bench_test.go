@@ -1,0 +1,54 @@
+package model
+
+import "testing"
+
+func BenchmarkProcessSetOps(b *testing.B) {
+	b.ReportAllocs()
+	a := NewProcessSet(1, 3, 5, 7, 9)
+	c := NewProcessSet(2, 3, 6, 7)
+	var sink ProcessSet
+	for i := 0; i < b.N; i++ {
+		sink = a.Union(c).Intersect(a).Diff(c).Add(11)
+	}
+	_ = sink
+}
+
+func BenchmarkProcessSetSlice(b *testing.B) {
+	b.ReportAllocs()
+	s := AllProcesses(16)
+	for i := 0; i < b.N; i++ {
+		_ = s.Slice()
+	}
+}
+
+func BenchmarkPatternCrashedAt(b *testing.B) {
+	b.ReportAllocs()
+	f := MustPattern(16)
+	for p := 1; p <= 8; p++ {
+		f.MustCrash(ProcessID(p), Time(p*10))
+	}
+	for i := 0; i < b.N; i++ {
+		_ = f.CrashedAt(Time(i % 200))
+	}
+}
+
+func BenchmarkSamePrefix(b *testing.B) {
+	b.ReportAllocs()
+	f := MustPattern(16).MustCrash(2, 50).MustCrash(9, 120)
+	g := f.PrefixClone(100)
+	for i := 0; i < b.N; i++ {
+		_ = f.SamePrefix(g, Time(i%150))
+	}
+}
+
+func BenchmarkHistoryRecordAndQuery(b *testing.B) {
+	b.ReportAllocs()
+	h := NewHistory(8)
+	for i := 0; i < b.N; i++ {
+		t := Time(i)
+		h.Record(1, t, NewProcessSet(2))
+		if i%64 == 0 {
+			_, _ = h.SuspectedFrom(1, 2)
+		}
+	}
+}

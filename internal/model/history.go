@@ -1,0 +1,136 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sample is one recorded failure-detector output: the value seen by a
+// process when it queried its local module at a given time (§2.2).
+type Sample struct {
+	T   Time
+	Out ProcessSet
+}
+
+// History is a recorded failure-detector history H : Ω × Φ → 2^Ω
+// (§2.2), sampled at the times processes actually queried their
+// modules. Class-membership checkers (package fd) evaluate
+// completeness and accuracy properties over a History together with
+// the failure pattern of the run.
+//
+// A History is not safe for concurrent use; the simulator is
+// single-threaded and live collectors serialize externally.
+type History struct {
+	n       int
+	samples map[ProcessID][]Sample
+}
+
+// NewHistory returns an empty history for a system of n processes.
+func NewHistory(n int) *History {
+	return &History{n: n, samples: make(map[ProcessID][]Sample, n)}
+}
+
+// N returns the system size.
+func (h *History) N() int { return h.n }
+
+// Record appends the value out seen by p at time t. Times must be
+// recorded in non-decreasing order per process.
+func (h *History) Record(p ProcessID, t Time, out ProcessSet) {
+	ss := h.samples[p]
+	if len(ss) > 0 && ss[len(ss)-1].T > t {
+		panic(fmt.Sprintf("model: history for %v not in time order: %d after %d", p, t, ss[len(ss)-1].T))
+	}
+	h.samples[p] = append(ss, Sample{T: t, Out: out})
+}
+
+// Samples returns the recorded samples of p in time order. The
+// returned slice is owned by the history; callers must not mutate it.
+func (h *History) Samples(p ProcessID) []Sample {
+	return h.samples[p]
+}
+
+// Last returns the last value p saw at or before t, and whether any
+// sample exists in that range.
+func (h *History) Last(p ProcessID, t Time) (ProcessSet, bool) {
+	ss := h.samples[p]
+	i := sort.Search(len(ss), func(i int) bool { return ss[i].T > t }) - 1
+	if i < 0 {
+		return ProcessSet{}, false
+	}
+	return ss[i].Out, true
+}
+
+// FinalSuspicions returns the output of each process's last sample.
+// For histories recorded to a horizon beyond stabilization this is the
+// "eventual, permanent" suspicion set used by completeness checks.
+func (h *History) FinalSuspicions(p ProcessID) (ProcessSet, bool) {
+	ss := h.samples[p]
+	if len(ss) == 0 {
+		return ProcessSet{}, false
+	}
+	return ss[len(ss)-1].Out, true
+}
+
+// SuspectedFrom returns the earliest time from which p suspects q in
+// every later sample (the start of permanent suspicion), or false if p
+// does not permanently suspect q by the end of the history.
+func (h *History) SuspectedFrom(p, q ProcessID) (Time, bool) {
+	ss := h.samples[p]
+	if len(ss) == 0 {
+		return 0, false
+	}
+	// Walk backwards over the suffix in which q is continuously suspected.
+	i := len(ss) - 1
+	if !ss[i].Out.Has(q) {
+		return 0, false
+	}
+	for i > 0 && ss[i-1].Out.Has(q) {
+		i--
+	}
+	return ss[i].T, true
+}
+
+// EverSuspected reports whether p suspected q in any sample, and the
+// first time it did.
+func (h *History) EverSuspected(p, q ProcessID) (Time, bool) {
+	for _, s := range h.samples[p] {
+		if s.Out.Has(q) {
+			return s.T, true
+		}
+	}
+	return 0, false
+}
+
+// MaxTime returns the largest recorded sample time across all
+// processes (the effective horizon of the history).
+func (h *History) MaxTime() Time {
+	var max Time
+	for _, ss := range h.samples {
+		if len(ss) > 0 && ss[len(ss)-1].T > max {
+			max = ss[len(ss)-1].T
+		}
+	}
+	return max
+}
+
+// String summarizes the history: per process, the number of samples
+// and the final suspicion set.
+func (h *History) String() string {
+	var b strings.Builder
+	b.WriteString("H{")
+	first := true
+	for p := ProcessID(1); int(p) <= h.n; p++ {
+		ss := h.samples[p]
+		if len(ss) == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString("; ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%v:%d samples, final %v", p, len(ss), ss[len(ss)-1].Out)
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistoryRecordAndQuery(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(4)
+	h.Record(1, 5, NewProcessSet(2))
+	h.Record(1, 10, NewProcessSet(2, 3))
+	h.Record(2, 7, EmptySet())
+
+	if got := len(h.Samples(1)); got != 2 {
+		t.Fatalf("Samples(p1) = %d entries, want 2", got)
+	}
+	if out, ok := h.Last(1, 9); !ok || !out.Equal(NewProcessSet(2)) {
+		t.Errorf("Last(p1, 9) = %v,%v; want {p2},true", out, ok)
+	}
+	if out, ok := h.Last(1, 10); !ok || !out.Equal(NewProcessSet(2, 3)) {
+		t.Errorf("Last(p1, 10) = %v,%v", out, ok)
+	}
+	if _, ok := h.Last(1, 4); ok {
+		t.Error("Last(p1, 4) found a sample before any were recorded")
+	}
+	if _, ok := h.Last(3, 100); ok {
+		t.Error("Last(p3) found samples for a process that never queried")
+	}
+}
+
+func TestHistoryOrderEnforced(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(4)
+	h.Record(1, 10, EmptySet())
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Record did not panic")
+		}
+	}()
+	h.Record(1, 9, EmptySet())
+}
+
+func TestSuspectedFrom(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(4)
+	// p1's view of p2: suspected at t=3, cleared at t=5 (a mistake),
+	// suspected again from t=8 onward.
+	h.Record(1, 3, NewProcessSet(2))
+	h.Record(1, 5, EmptySet())
+	h.Record(1, 8, NewProcessSet(2))
+	h.Record(1, 9, NewProcessSet(2))
+	h.Record(1, 12, NewProcessSet(2, 4))
+
+	from, ok := h.SuspectedFrom(1, 2)
+	if !ok || from != 8 {
+		t.Errorf("SuspectedFrom(p1,p2) = %d,%v; want 8,true (mistake at t=5 resets)", from, ok)
+	}
+	if _, ok := h.SuspectedFrom(1, 3); ok {
+		t.Error("SuspectedFrom(p1,p3): p3 never suspected")
+	}
+	if from, ok := h.SuspectedFrom(1, 4); !ok || from != 12 {
+		t.Errorf("SuspectedFrom(p1,p4) = %d,%v; want 12,true", from, ok)
+	}
+	if first, ok := h.EverSuspected(1, 2); !ok || first != 3 {
+		t.Errorf("EverSuspected(p1,p2) = %d,%v; want 3,true", first, ok)
+	}
+}
+
+func TestFinalSuspicionsAndMaxTime(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(4)
+	if _, ok := h.FinalSuspicions(1); ok {
+		t.Error("FinalSuspicions on empty history should report none")
+	}
+	h.Record(1, 4, NewProcessSet(3))
+	h.Record(2, 11, NewProcessSet(1))
+	if out, ok := h.FinalSuspicions(1); !ok || !out.Equal(NewProcessSet(3)) {
+		t.Errorf("FinalSuspicions(p1) = %v,%v", out, ok)
+	}
+	if got := h.MaxTime(); got != 11 {
+		t.Errorf("MaxTime = %d, want 11", got)
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(4)
+	h.Record(2, 1, NewProcessSet(4))
+	if got := h.String(); !strings.Contains(got, "p2") || !strings.Contains(got, "{p4}") {
+		t.Errorf("String = %q", got)
+	}
+}

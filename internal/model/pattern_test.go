@@ -1,0 +1,228 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFailurePatternValidation(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{-1, 0, 1, 2, 3, 65} {
+		if _, err := NewFailurePattern(n); err == nil {
+			t.Errorf("NewFailurePattern(%d) accepted; the model requires 3 < n ≤ 64", n)
+		}
+	}
+	for _, n := range []int{4, 5, 16, 64} {
+		if _, err := NewFailurePattern(n); err != nil {
+			t.Errorf("NewFailurePattern(%d) rejected: %v", n, err)
+		}
+	}
+}
+
+func TestFailurePatternCrashSemantics(t *testing.T) {
+	t.Parallel()
+	f := MustPattern(5)
+	if err := f.Crash(2, 10); err != nil {
+		t.Fatalf("Crash(p2, 10): %v", err)
+	}
+
+	// F(t) is monotone: before the crash p2 is alive, from t=10 on it is not.
+	if !f.Alive(2, 9) {
+		t.Error("p2 should be alive at t=9")
+	}
+	if f.Alive(2, 10) {
+		t.Error("p2 crashed at t=10, must not be alive at t=10")
+	}
+	if got := f.CrashedAt(9); !got.IsEmpty() {
+		t.Errorf("F(9) = %v, want {}", got)
+	}
+	if got := f.CrashedAt(10); !got.Equal(NewProcessSet(2)) {
+		t.Errorf("F(10) = %v, want {p2}", got)
+	}
+	if got := f.AliveAt(10); !got.Equal(NewProcessSet(1, 3, 4, 5)) {
+		t.Errorf("alive(10) = %v", got)
+	}
+	if got := f.Correct(); !got.Equal(NewProcessSet(1, 3, 4, 5)) {
+		t.Errorf("correct(F) = %v", got)
+	}
+	if got := f.Faulty(); !got.Equal(NewProcessSet(2)) {
+		t.Errorf("faulty(F) = %v", got)
+	}
+}
+
+func TestFailurePatternCrashErrors(t *testing.T) {
+	t.Parallel()
+	f := MustPattern(4)
+	if err := f.Crash(0, 5); err == nil {
+		t.Error("Crash(p0) accepted")
+	}
+	if err := f.Crash(5, 5); err == nil {
+		t.Error("Crash(p5) accepted for n=4")
+	}
+	if err := f.Crash(1, -3); err == nil {
+		t.Error("Crash at negative time accepted")
+	}
+	if err := f.Crash(1, 7); err != nil {
+		t.Fatalf("Crash(p1,7): %v", err)
+	}
+	if err := f.Crash(1, 9); err == nil {
+		t.Error("double crash accepted; crash-stop model forbids recovery/re-crash")
+	}
+}
+
+func TestCrashTime(t *testing.T) {
+	t.Parallel()
+	f := MustPattern(4).MustCrash(3, 42)
+	if ct, ok := f.CrashTime(3); !ok || ct != 42 {
+		t.Errorf("CrashTime(p3) = %d,%v; want 42,true", ct, ok)
+	}
+	if _, ok := f.CrashTime(1); ok {
+		t.Error("CrashTime(p1) reported a crash for a correct process")
+	}
+	if _, ok := f.CrashTime(9); ok {
+		t.Error("CrashTime(p9) reported a crash for an out-of-range process")
+	}
+}
+
+func TestSamePrefix(t *testing.T) {
+	t.Parallel()
+	// The Marabout example of §3.2.2: F1 has p1 crash at 10, F2 is
+	// failure-free. They agree through t=9 and disagree from t=10.
+	f1 := MustPattern(4).MustCrash(1, 10)
+	f2 := MustPattern(4)
+	if !f1.SamePrefix(f2, 9) {
+		t.Error("F1, F2 must agree through t=9")
+	}
+	if f1.SamePrefix(f2, 10) {
+		t.Error("F1, F2 must disagree at t=10")
+	}
+	// Same crash in both ⇒ agree forever.
+	f3 := MustPattern(4).MustCrash(1, 10)
+	if !f1.SamePrefix(f3, NoCrash-1) {
+		t.Error("identical patterns must agree at any horizon")
+	}
+	// Same process crashing at different times ≤ t disagree.
+	f4 := MustPattern(4).MustCrash(1, 5)
+	if f1.SamePrefix(f4, 20) {
+		t.Error("crash at 10 vs 5 must disagree through t=20")
+	}
+	// ... but agree strictly before the earlier crash.
+	if !f1.SamePrefix(f4, 4) {
+		t.Error("crash at 10 vs 5 agree through t=4")
+	}
+	// Different n never agree.
+	f5 := MustPattern(5)
+	if f2.SamePrefix(f5, 100) {
+		t.Error("patterns over different Ω cannot agree")
+	}
+}
+
+func TestPrefixClone(t *testing.T) {
+	t.Parallel()
+	f := MustPattern(5).MustCrash(2, 10).MustCrash(3, 50)
+	g := f.PrefixClone(20)
+	if !f.SamePrefix(g, 20) {
+		t.Error("PrefixClone(20) must agree with original through t=20")
+	}
+	if _, ok := g.CrashTime(3); ok {
+		t.Error("PrefixClone(20) kept the crash at t=50")
+	}
+	if ct, ok := g.CrashTime(2); !ok || ct != 10 {
+		t.Error("PrefixClone(20) lost the crash at t=10")
+	}
+	// Original unchanged.
+	if _, ok := f.CrashTime(3); !ok {
+		t.Error("PrefixClone mutated the original")
+	}
+}
+
+func TestPatternCloneIndependence(t *testing.T) {
+	t.Parallel()
+	f := MustPattern(4)
+	g := f.Clone()
+	g.MustCrash(1, 3)
+	if _, ok := f.CrashTime(1); ok {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	t.Parallel()
+	f := MustPattern(5)
+	if got := f.String(); !strings.Contains(got, "∅") {
+		t.Errorf("failure-free String = %q, want ∅ marker", got)
+	}
+	f.MustCrash(4, 30).MustCrash(2, 10)
+	got := f.String()
+	// Crashes are listed in time order.
+	if !strings.Contains(got, "p2@10, p4@30") {
+		t.Errorf("String = %q, want crashes in time order", got)
+	}
+}
+
+// randomPattern draws a pattern over n=6 with each process crashing
+// with probability 1/2 at a time in [0, 100).
+func randomPattern(r *rand.Rand) *FailurePattern {
+	f := MustPattern(6)
+	for p := ProcessID(1); p <= 6; p++ {
+		if r.Intn(2) == 0 {
+			f.MustCrash(p, Time(r.Intn(100)))
+		}
+	}
+	return f
+}
+
+func TestQuickPatternInvariants(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		f := randomPattern(r)
+		// Monotonicity: F(t) ⊆ F(t+1).
+		for tt := Time(0); tt < 101; tt++ {
+			if !f.CrashedAt(tt).SubsetOf(f.CrashedAt(tt + 1)) {
+				t.Fatalf("pattern %v not monotone at t=%d", f, tt)
+			}
+		}
+		// correct(F) ∪ faulty(F) = Ω, disjoint.
+		if !f.Correct().Union(f.Faulty()).Equal(AllProcesses(6)) {
+			t.Fatalf("correct ∪ faulty ≠ Ω for %v", f)
+		}
+		if !f.Correct().Intersect(f.Faulty()).IsEmpty() {
+			t.Fatalf("correct ∩ faulty ≠ ∅ for %v", f)
+		}
+		// At horizon beyond all crashes, F(h) = faulty(F).
+		if !f.CrashedAt(1000).Equal(f.Faulty()) {
+			t.Fatalf("F(1000) ≠ faulty(F) for %v", f)
+		}
+		// SamePrefix is reflexive at any cut.
+		if !f.SamePrefix(f, Time(i)) {
+			t.Fatalf("SamePrefix not reflexive for %v", f)
+		}
+		// PrefixClone(t) agrees through t for random t.
+		cut := Time(r.Intn(120))
+		if !f.SamePrefix(f.PrefixClone(cut), cut) {
+			t.Fatalf("PrefixClone(%d) prefix mismatch for %v", cut, f)
+		}
+	}
+}
+
+func TestQuickSamePrefixSymmetry(t *testing.T) {
+	t.Parallel()
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomPattern(r))
+			vals[1] = reflect.ValueOf(randomPattern(r))
+			vals[2] = reflect.ValueOf(Time(r.Intn(120)))
+		},
+	}
+	sym := func(a, b *FailurePattern, t Time) bool {
+		return a.SamePrefix(b, t) == b.SamePrefix(a, t)
+	}
+	if err := quick.Check(sym, cfg); err != nil {
+		t.Errorf("SamePrefix symmetry failed: %v", err)
+	}
+}

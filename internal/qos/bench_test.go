@@ -1,0 +1,42 @@
+package qos
+
+import (
+	"testing"
+	"time"
+
+	"realisticfd/internal/heartbeat"
+)
+
+func BenchmarkReplay(b *testing.B) {
+	b.ReportAllocs()
+	m := ArrivalModel{
+		Interval:     20 * time.Millisecond,
+		JitterStd:    4 * time.Millisecond,
+		DropPct:      10,
+		CrashAfter:   time.Second,
+		Duration:     2 * time.Second,
+		SamplePeriod: 5 * time.Millisecond,
+		Seed:         1,
+	}
+	for i := 0; i < b.N; i++ {
+		tl := m.Replay(&heartbeat.PhiAccrual{Window: 64, Threshold: 8, MinStdDev: 2 * time.Millisecond})
+		_ = tl.Compute()
+	}
+}
+
+func BenchmarkComputeMetrics(b *testing.B) {
+	m := ArrivalModel{
+		Interval:     10 * time.Millisecond,
+		JitterStd:    3 * time.Millisecond,
+		DropPct:      15,
+		Duration:     5 * time.Second,
+		SamplePeriod: 2 * time.Millisecond,
+		Seed:         2,
+	}
+	tl := m.Replay(&heartbeat.FixedTimeout{Timeout: 15 * time.Millisecond})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tl.Compute()
+	}
+}

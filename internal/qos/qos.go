@@ -1,0 +1,166 @@
+// Package qos implements the quality-of-service metrics for failure
+// detectors introduced by Chen, Toueg and Aguilera, applied to the
+// heartbeat estimators of package heartbeat: detection time T_D,
+// average mistake rate λ_M, average mistake duration T_M, and query
+// accuracy probability P_A.
+//
+// This quantifies the paper's practical trade-off (§1.3): emulating a
+// Perfect detector over a real network means choosing a point on the
+// completeness/accuracy frontier; the membership layer then makes the
+// chosen suspicions "accurate" by exclusion. Experiment E9 sweeps
+// that frontier.
+package qos
+
+import (
+	"fmt"
+	"time"
+)
+
+// Timeline records the boolean suspicion verdicts about one monitored
+// process, sampled at (strictly increasing) times, plus the ground
+// truth crash time (zero Time means the process never crashed).
+type Timeline struct {
+	start   time.Time
+	end     time.Time
+	crashAt time.Time // zero: never crashed
+	samples []sample
+}
+
+type sample struct {
+	at        time.Time
+	suspected bool
+}
+
+// NewTimeline opens an observation window starting at start.
+func NewTimeline(start time.Time) *Timeline {
+	return &Timeline{start: start, end: start}
+}
+
+// Crash records the ground-truth crash instant.
+func (tl *Timeline) Crash(at time.Time) { tl.crashAt = at }
+
+// Record appends one verdict; times must be non-decreasing.
+func (tl *Timeline) Record(at time.Time, suspected bool) {
+	if at.Before(tl.end) {
+		panic("qos: timeline samples must be time-ordered")
+	}
+	tl.samples = append(tl.samples, sample{at: at, suspected: suspected})
+	tl.end = at
+}
+
+// Metrics are the Chen-Toueg-Aguilera QoS figures computed over one
+// timeline.
+type Metrics struct {
+	// DetectionTime is the lag from the crash to the beginning of the
+	// final, permanent suspicion (T_D). Zero when the process never
+	// crashed or was never (permanently) detected.
+	DetectionTime time.Duration
+	// Detected reports whether a crashed process was permanently
+	// suspected by the end of the window (completeness at horizon).
+	Detected bool
+	// Mistakes is the number of false-suspicion episodes (transitions
+	// to suspected while the process was alive).
+	Mistakes int
+	// MistakeRate is mistakes per second of alive time (λ_M).
+	MistakeRate float64
+	// AvgMistakeDuration is the mean length of false-suspicion
+	// episodes (T_M).
+	AvgMistakeDuration time.Duration
+	// QueryAccuracy is the fraction of alive-time samples that
+	// correctly answered "trust" (P_A).
+	QueryAccuracy float64
+	// Samples is the number of verdicts recorded.
+	Samples int
+}
+
+// String renders the metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("T_D=%v detected=%v mistakes=%d λ_M=%.4f/s T_M=%v P_A=%.4f",
+		m.DetectionTime, m.Detected, m.Mistakes, m.MistakeRate, m.AvgMistakeDuration, m.QueryAccuracy)
+}
+
+// Compute derives the metrics from the timeline.
+func (tl *Timeline) Compute() Metrics {
+	var m Metrics
+	m.Samples = len(tl.samples)
+	if m.Samples == 0 {
+		return m
+	}
+
+	crashed := !tl.crashAt.IsZero()
+	aliveEnd := tl.end
+	if crashed && tl.crashAt.Before(aliveEnd) {
+		aliveEnd = tl.crashAt
+	}
+
+	// Walk samples: episodes of suspicion while alive are mistakes;
+	// the last suspicion streak covering the end of the window is the
+	// detection (when the process crashed).
+	var (
+		aliveSamples, aliveCorrect int
+		mistakeTotal               time.Duration
+		episodeStart               time.Time
+		inEpisode                  bool
+	)
+	for _, s := range tl.samples {
+		alive := !crashed || s.at.Before(tl.crashAt)
+		if alive {
+			aliveSamples++
+			if !s.suspected {
+				aliveCorrect++
+			}
+		}
+		switch {
+		case s.suspected && !inEpisode:
+			inEpisode = true
+			episodeStart = s.at
+		case !s.suspected && inEpisode:
+			inEpisode = false
+			// The episode [episodeStart, s.at) ended with a trust
+			// verdict: it was a mistake for its alive portion.
+			if episodeStart.Before(aliveEnd) {
+				m.Mistakes++
+				endAlive := s.at
+				if endAlive.After(aliveEnd) {
+					endAlive = aliveEnd
+				}
+				mistakeTotal += endAlive.Sub(episodeStart)
+			}
+		}
+	}
+	if inEpisode {
+		if crashed {
+			// Final streak: detection. Its start may precede the
+			// crash (premature suspicion rolls into detection, per
+			// Chen-Toueg-Aguilera's T_D definition the detection time
+			// is measured from the crash; a streak starting earlier
+			// gives T_D = 0).
+			m.Detected = true
+			if episodeStart.After(tl.crashAt) {
+				m.DetectionTime = episodeStart.Sub(tl.crashAt)
+			}
+			if episodeStart.Before(tl.crashAt) {
+				// The premature part was still a mistake.
+				m.Mistakes++
+				mistakeTotal += tl.crashAt.Sub(episodeStart)
+			}
+		} else {
+			// Suspected at the end of an alive window: an open
+			// mistake.
+			m.Mistakes++
+			mistakeTotal += tl.end.Sub(episodeStart)
+		}
+	}
+
+	if m.Mistakes > 0 {
+		m.AvgMistakeDuration = mistakeTotal / time.Duration(m.Mistakes)
+	}
+	aliveSpan := aliveEnd.Sub(tl.start).Seconds()
+	if aliveSpan > 0 {
+		m.MistakeRate = float64(m.Mistakes) / aliveSpan
+	}
+	if aliveSamples > 0 {
+		m.QueryAccuracy = float64(aliveCorrect) / float64(aliveSamples)
+	}
+	return m
+}

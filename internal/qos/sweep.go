@@ -1,0 +1,110 @@
+package qos
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"realisticfd/internal/heartbeat"
+)
+
+// ArrivalModel generates a synthetic heartbeat arrival sequence with
+// the statistics of a real link: normally-jittered inter-arrival
+// times, probabilistic loss, and an optional crash after which nothing
+// arrives. All randomness is seeded.
+type ArrivalModel struct {
+	// Interval is the sender's heartbeat period.
+	Interval time.Duration
+	// JitterStd is the standard deviation of the one-way delay jitter.
+	JitterStd time.Duration
+	// DropPct is the percentage (0..100) of heartbeats lost.
+	DropPct int
+	// CrashAfter, when positive, crashes the sender that long into the
+	// run.
+	CrashAfter time.Duration
+	// Duration is the observation window length.
+	Duration time.Duration
+	// SamplePeriod is how often the monitor is queried.
+	SamplePeriod time.Duration
+	// Seed drives jitter and loss.
+	Seed int64
+}
+
+// Replay drives est with the model's synthetic arrivals and query
+// samples, returning the resulting timeline. Virtual time starts at
+// the epoch; nothing sleeps.
+func (am ArrivalModel) Replay(est heartbeat.Estimator) *Timeline {
+	start := time.Unix(0, 0)
+	rng := rand.New(rand.NewSource(am.Seed))
+	tl := NewTimeline(start)
+
+	var crashAt time.Time
+	if am.CrashAfter > 0 {
+		crashAt = start.Add(am.CrashAfter)
+		tl.Crash(crashAt)
+	}
+
+	// Generate arrival instants: sent every Interval, delayed by
+	// |N(0, JitterStd)|, dropped with DropPct. Arrivals can reorder
+	// slightly under jitter; estimators ignore non-monotone arrivals,
+	// as a real monitor reading a clock would.
+	var arrivals []time.Time
+	for sent := start; sent.Before(start.Add(am.Duration)); sent = sent.Add(am.Interval) {
+		if !crashAt.IsZero() && !sent.Before(crashAt) {
+			break
+		}
+		if am.DropPct > 0 && rng.Intn(100) < am.DropPct {
+			continue
+		}
+		jitter := time.Duration(math.Abs(rng.NormFloat64()) * float64(am.JitterStd))
+		arrivals = append(arrivals, sent.Add(jitter))
+	}
+
+	// Interleave arrivals and query samples in time order.
+	ai := 0
+	for q := start.Add(am.SamplePeriod); !q.After(start.Add(am.Duration)); q = q.Add(am.SamplePeriod) {
+		for ai < len(arrivals) && !arrivals[ai].After(q) {
+			est.Observe(arrivals[ai])
+			ai++
+		}
+		tl.Record(q, est.Suspect(q))
+	}
+	return tl
+}
+
+// SweepPoint is one (configuration, metrics) row of a QoS sweep.
+type SweepPoint struct {
+	Estimator string
+	Crash     Metrics // run where the sender crashes mid-window
+	Steady    Metrics // failure-free run (mistakes only)
+}
+
+// Config is one estimator configuration in a sweep.
+type Config struct {
+	Label string
+	Make  func() heartbeat.Estimator
+}
+
+// Sweep replays both a crash scenario and a steady-state scenario for
+// each estimator configuration, pairing detection speed against false
+// suspicion cost — the E9 frontier.
+func Sweep(base ArrivalModel, configs []Config) []SweepPoint {
+	out := make([]SweepPoint, 0, len(configs))
+	for _, cfg := range configs {
+		crashModel := base
+		if crashModel.CrashAfter <= 0 {
+			crashModel.CrashAfter = base.Duration / 2
+		}
+		steadyModel := base
+		steadyModel.CrashAfter = 0
+
+		crashTL := crashModel.Replay(cfg.Make())
+		steadyTL := steadyModel.Replay(cfg.Make())
+		out = append(out, SweepPoint{
+			Estimator: cfg.Label,
+			Crash:     crashTL.Compute(),
+			Steady:    steadyTL.Compute(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+)
+
+// Config describes one run of an algorithm A using a failure detector
+// D under a failure pattern F (§2.4).
+type Config struct {
+	// N is the system size |Ω|; must satisfy 3 < N ≤ 64.
+	N int
+	// Automaton is the algorithm A.
+	Automaton Automaton
+	// Oracle is the failure detector D.
+	Oracle fd.Oracle
+	// Pattern is the failure pattern F. The engine uses it in place so
+	// adversarial hooks may extend it with crashes mid-run; pass a
+	// Clone if the caller needs the original preserved. Nil means
+	// failure-free.
+	Pattern *model.FailurePattern
+	// Horizon bounds the run length in global-clock ticks. There is
+	// exactly one step per tick, so Horizon is also the step budget.
+	Horizon model.Time
+	// Seed drives all scheduling randomness. Identical configs with
+	// identical seeds replay identical runs.
+	Seed int64
+	// Policy schedules processes and message deliveries; nil means a
+	// fresh FairPolicy.
+	Policy Policy
+	// StopWhen, if non-nil, ends the run early once it returns true;
+	// it is evaluated after every step.
+	StopWhen func(*Trace) bool
+	// AfterStep, if non-nil, is invoked after every recorded step; the
+	// adversarial experiments use it to observe decisions and crash
+	// processes through the Run handle.
+	AfterStep func(*Run, *EventRecord)
+}
+
+// Run is a live run handle passed to AfterStep hooks.
+type Run struct {
+	cfg     Config
+	now     model.Time
+	rng     *rand.Rand
+	pattern *model.FailurePattern
+	procs   []Process
+	pending [][]*Message // pending[p] = buffered messages to p
+	trace   *Trace
+	nextMsg int64
+	lastEv  []int // last event index per process, -1 initially
+}
+
+// Now returns the current global time.
+func (r *Run) Now() model.Time { return r.now }
+
+// Pattern returns the run's failure pattern (live; hooks may extend
+// it via Crash).
+func (r *Run) Pattern() *model.FailurePattern { return r.pattern }
+
+// Trace returns the trace recorded so far.
+func (r *Run) Trace() *Trace { return r.trace }
+
+// Crash makes p crash at the current time: it takes no further steps.
+// This is the adversary's move in the Lemma 4.1 experiment ("all
+// processes crash at time t, except p_j").
+func (r *Run) Crash(p model.ProcessID) error {
+	return r.pattern.Crash(p, r.now)
+}
+
+// Errors returned by Execute.
+var (
+	// ErrNoAliveProcess means every process crashed before the run
+	// could finish; the trace up to that point is still returned.
+	ErrNoAliveProcess = errors.New("sim: all processes crashed")
+)
+
+// Execute runs the configured algorithm and returns the recorded
+// trace. The returned error is non-nil only for configuration
+// problems; a run in which all processes crash ends normally with the
+// trace produced so far and Stopped = StopQuiescent.
+func Execute(cfg Config) (*Trace, error) {
+	if err := model.ValidateN(cfg.N); err != nil {
+		return nil, err
+	}
+	if cfg.Automaton == nil {
+		return nil, errors.New("sim: Config.Automaton is nil")
+	}
+	if cfg.Oracle == nil {
+		return nil, errors.New("sim: Config.Oracle is nil")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: Horizon %d must be positive", cfg.Horizon)
+	}
+	pattern := cfg.Pattern
+	if pattern == nil {
+		pattern = model.MustPattern(cfg.N)
+	}
+	if pattern.N() != cfg.N {
+		return nil, fmt.Errorf("sim: pattern over n=%d but Config.N=%d", pattern.N(), cfg.N)
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = &FairPolicy{}
+	}
+
+	r := &Run{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		pattern: pattern,
+		procs:   make([]Process, cfg.N+1),
+		pending: make([][]*Message, cfg.N+1),
+		lastEv:  make([]int, cfg.N+1),
+		trace: &Trace{
+			N:       cfg.N,
+			History: model.NewHistory(cfg.N),
+			Pattern: pattern,
+			byProc:  make(map[model.ProcessID][]int, cfg.N),
+		},
+		nextMsg: 1,
+	}
+	for p := 1; p <= cfg.N; p++ {
+		r.procs[p] = cfg.Automaton.Spawn(model.ProcessID(p), cfg.N)
+		r.lastEv[p] = -1
+	}
+
+	alive := make([]model.ProcessID, 0, cfg.N)
+	for t := model.Time(1); t <= cfg.Horizon; t++ {
+		r.now = t
+		alive = alive[:0]
+		for p := 1; p <= cfg.N; p++ {
+			if pattern.Alive(model.ProcessID(p), t) {
+				alive = append(alive, model.ProcessID(p))
+			}
+		}
+		if len(alive) == 0 {
+			r.finish(StopQuiescent)
+			return r.trace, nil
+		}
+
+		p := policy.NextProcess(alive, t, r.rng)
+		if !pattern.Alive(p, t) {
+			return nil, fmt.Errorf("sim: policy scheduled crashed process %v at t=%d", p, t)
+		}
+
+		// (1) receive a message or λ.
+		var msg *Message
+		if idx := policy.PickMessage(p, r.pending[p], t, r.rng); idx >= 0 {
+			if idx >= len(r.pending[p]) {
+				return nil, fmt.Errorf("sim: policy picked message %d of %d for %v", idx, len(r.pending[p]), p)
+			}
+			msg = r.pending[p][idx]
+			r.pending[p] = append(r.pending[p][:idx], r.pending[p][idx+1:]...)
+		}
+
+		// (2) query the failure-detector module.
+		susp := cfg.Oracle.Output(pattern, p, t)
+		r.trace.History.Record(p, t, susp)
+
+		// (3) state transition and sends.
+		actions := r.procs[p].Step(msg, susp, t)
+
+		ev := EventRecord{
+			Index:        len(r.trace.Events),
+			P:            p,
+			T:            t,
+			Msg:          msg,
+			FD:           susp,
+			Events:       actions.Events,
+			PrevSameProc: r.lastEv[p],
+		}
+		for _, s := range actions.Sends {
+			if s.To < 1 || int(s.To) > cfg.N {
+				return nil, fmt.Errorf("sim: %v sent to out-of-range destination %v", p, s.To)
+			}
+			m := &Message{
+				ID:      r.nextMsg,
+				From:    p,
+				To:      s.To,
+				SentAt:  t,
+				SentBy:  ev.Index,
+				Payload: s.Payload,
+			}
+			r.nextMsg++
+			ev.Sends = append(ev.Sends, m)
+			r.pending[s.To] = append(r.pending[s.To], m)
+		}
+		r.trace.Events = append(r.trace.Events, ev)
+		r.trace.byProc[p] = append(r.trace.byProc[p], ev.Index)
+		r.lastEv[p] = ev.Index
+
+		if cfg.AfterStep != nil {
+			cfg.AfterStep(r, &r.trace.Events[ev.Index])
+		}
+		if cfg.StopWhen != nil && cfg.StopWhen(r.trace) {
+			r.finish(StopCondition)
+			return r.trace, nil
+		}
+	}
+	r.finish(StopHorizon)
+	return r.trace, nil
+}
+
+// finish seals the trace with the final buffer contents.
+func (r *Run) finish(reason StopReason) {
+	r.trace.Stopped = reason
+	for p := 1; p <= r.cfg.N; p++ {
+		r.trace.Undelivered = append(r.trace.Undelivered, r.pending[p]...)
+	}
+}
+
+// AllDecided returns a StopWhen predicate: every process alive at the
+// current end of the trace has emitted a decide event for the given
+// instance.
+func AllDecided(instance int) func(*Trace) bool {
+	return func(tr *Trace) bool {
+		decided := model.EmptySet()
+		for _, d := range tr.Decisions(instance) {
+			decided = decided.Add(d.P)
+		}
+		return tr.Pattern.AliveAt(tr.MaxTime()).SubsetOf(decided)
+	}
+}
+
+// CorrectDecided returns a StopWhen predicate: every process that is
+// correct in the (current) pattern has decided in the given instance.
+// Use with patterns whose crashes are fully scripted up front.
+func CorrectDecided(instance int) func(*Trace) bool {
+	return func(tr *Trace) bool {
+		decided := model.EmptySet()
+		for _, d := range tr.Decisions(instance) {
+			decided = decided.Add(d.P)
+		}
+		return tr.Pattern.Correct().SubsetOf(decided)
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+)
+
+func TestFairPolicyRoundRobin(t *testing.T) {
+	t.Parallel()
+	fp := &FairPolicy{}
+	alive := []model.ProcessID{1, 2, 3}
+	r := rand.New(rand.NewSource(1))
+	var seq []model.ProcessID
+	for i := 0; i < 6; i++ {
+		seq = append(seq, fp.NextProcess(alive, model.Time(i), r))
+	}
+	want := []model.ProcessID{1, 2, 3, 1, 2, 3}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("round robin = %v", seq)
+		}
+	}
+}
+
+func TestFairPolicyOldestFirst(t *testing.T) {
+	t.Parallel()
+	fp := &FairPolicy{}
+	r := rand.New(rand.NewSource(1))
+	if got := fp.PickMessage(1, nil, 0, r); got != -1 {
+		t.Fatalf("empty buffer pick = %d, want -1 (λ)", got)
+	}
+	pending := []*Message{{ID: 10}, {ID: 11}}
+	if got := fp.PickMessage(1, pending, 0, r); got != 0 {
+		t.Fatalf("pick = %d, want oldest (0)", got)
+	}
+}
+
+// TestRandomFairPolicyRoundCoverage: within any window of len(alive)
+// scheduling decisions with a stable alive set, every process steps
+// exactly once — condition (4) of §2.4 in bounded form.
+func TestRandomFairPolicyRoundCoverage(t *testing.T) {
+	t.Parallel()
+	rp := &RandomFairPolicy{}
+	alive := []model.ProcessID{1, 2, 3, 4, 5}
+	r := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		seen := model.EmptySet()
+		for i := 0; i < len(alive); i++ {
+			p := rp.NextProcess(alive, model.Time(round*5+i), r)
+			if seen.Has(p) {
+				t.Fatalf("round %d: %v scheduled twice before others ran", round, p)
+			}
+			seen = seen.Add(p)
+		}
+		if seen.Len() != len(alive) {
+			t.Fatalf("round %d covered only %v", round, seen)
+		}
+	}
+}
+
+// TestRandomFairPolicyShrinkingAlive: when processes crash mid-round,
+// the policy must keep scheduling only alive ones.
+func TestRandomFairPolicyShrinkingAlive(t *testing.T) {
+	t.Parallel()
+	rp := &RandomFairPolicy{}
+	r := rand.New(rand.NewSource(3))
+	alive := []model.ProcessID{1, 2, 3, 4, 5}
+	for i := 0; i < 100; i++ {
+		if i == 40 {
+			alive = []model.ProcessID{2, 4} // p1, p3, p5 crash
+		}
+		p := rp.NextProcess(alive, model.Time(i), r)
+		ok := false
+		for _, q := range alive {
+			if q == p {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("step %d: scheduled dead %v", i, p)
+		}
+	}
+}
+
+// TestRandomFairPolicyAgeForcing: a message older than MaxAge must be
+// delivered regardless of the λ/shuffle draws — condition (5) of §2.4
+// in bounded form.
+func TestRandomFairPolicyAgeForcing(t *testing.T) {
+	t.Parallel()
+	rp := &RandomFairPolicy{LambdaPct: 99, MaxAge: 10}
+	r := rand.New(rand.NewSource(5))
+	pending := []*Message{{ID: 1, SentAt: 0}}
+	forced := 0
+	for i := 0; i < 100; i++ {
+		if rp.PickMessage(1, pending, 50, r) == 0 {
+			forced++
+		}
+	}
+	if forced != 100 {
+		t.Fatalf("age forcing fired %d/100 times, want always", forced)
+	}
+}
+
+// TestFairnessEndToEnd runs a chatty automaton under the random
+// policy and audits conditions (4) and (5) on the trace: every
+// correct process keeps stepping, and no message to a correct process
+// is older than the forcing bound at the end.
+func TestFairnessEndToEnd(t *testing.T) {
+	t.Parallel()
+	pat := model.MustPattern(6).MustCrash(3, 100)
+	tr, err := Execute(Config{
+		N: 6, Automaton: broadcastAutomaton{}, Oracle: fd.Perfect{Delay: 1},
+		Pattern: pat, Horizon: 3000, Seed: 11,
+		Policy: &RandomFairPolicy{MaxAge: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (4): every correct process stepped in the last 3n ticks.
+	for _, p := range pat.Correct().Slice() {
+		evs := tr.EventsOf(p)
+		if len(evs) == 0 {
+			t.Fatalf("%v never stepped", p)
+		}
+		if last := tr.Events[evs[len(evs)-1]].T; last < tr.MaxTime()-18 {
+			t.Fatalf("%v starved: last step at %d of %d", p, last, tr.MaxTime())
+		}
+	}
+	// (5): no stale message to a correct process survived.
+	for _, m := range tr.Undelivered {
+		if pat.Correct().Has(m.To) && tr.MaxTime()-m.SentAt > 50+model.Time(6) {
+			t.Fatalf("stale message %v to correct process (age %d)", m, tr.MaxTime()-m.SentAt)
+		}
+	}
+}
+
+// TestOracleNoiseDeterminism: seeded noisy oracles are pure functions
+// of (seed, p, q, t) — two queries agree, and so do two full runs.
+func TestOracleNoiseDeterminism(t *testing.T) {
+	t.Parallel()
+	o1 := fd.EventuallyStrong{GST: 100, Delay: 2, Seed: 9, FalseRate: 30}
+	o2 := fd.EventuallyStrong{GST: 100, Delay: 2, Seed: 9, FalseRate: 30}
+	pat := model.MustPattern(5).MustCrash(4, 30)
+	for tt := model.Time(0); tt < 150; tt++ {
+		for p := model.ProcessID(1); p <= 5; p++ {
+			if !o1.Output(pat, p, tt).Equal(o2.Output(pat, p, tt)) {
+				t.Fatalf("oracle not deterministic at (%v, %d)", p, tt)
+			}
+		}
+	}
+	// A different seed must actually change something.
+	o3 := fd.EventuallyStrong{GST: 100, Delay: 2, Seed: 10, FalseRate: 30}
+	same := true
+	for tt := model.Time(0); tt < 100 && same; tt++ {
+		for p := model.ProcessID(1); p <= 5; p++ {
+			if !o1.Output(pat, p, tt).Equal(o3.Output(pat, p, tt)) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical noise")
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+)
+
+func TestBroadcastHelper(t *testing.T) {
+	t.Parallel()
+	sends := Broadcast(4, "x")
+	if len(sends) != 4 {
+		t.Fatalf("Broadcast(4) = %d sends", len(sends))
+	}
+	seen := model.EmptySet()
+	for _, s := range sends {
+		if s.Payload != "x" {
+			t.Fatalf("payload %v", s.Payload)
+		}
+		seen = seen.Add(s.To)
+	}
+	if !seen.Equal(model.AllProcesses(4)) {
+		t.Fatalf("destinations %v", seen)
+	}
+}
+
+func TestAllDecidedPredicate(t *testing.T) {
+	t.Parallel()
+	// The chain automaton produces exactly one decision, so
+	// AllDecided(0) never fires (p5 is alive and undecided) while a
+	// run with CorrectDecided(0) and all-but-decider crashed does.
+	tr, err := Execute(Config{
+		N: 5, Automaton: chainAutomaton{k: 4}, Oracle: fd.Perfect{},
+		Horizon: 400, StopWhen: AllDecided(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stopped != StopHorizon {
+		t.Fatalf("AllDecided fired with undecided alive processes: %v", tr.Stopped)
+	}
+}
+
+func TestMuzzleEverybodyStillAdvances(t *testing.T) {
+	t.Parallel()
+	// With every process muzzled, the schedule must still advance (the
+	// muzzle policy falls back to the inner policy) — the run cannot
+	// wedge the engine.
+	tr, err := Execute(Config{
+		N: 4, Automaton: broadcastAutomaton{}, Oracle: fd.Perfect{},
+		Horizon: 50,
+		Policy: &MuzzlePolicy{
+			Inner:   &FairPolicy{},
+			Muzzled: model.AllProcesses(4),
+			Until:   100,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 50 {
+		t.Fatalf("engine recorded %d events, want 50", len(tr.Events))
+	}
+}
+
+func TestDelayPolicyReleasesAfterUntil(t *testing.T) {
+	t.Parallel()
+	dp := &DelayPolicy{Target: model.NewProcessSet(2), Until: 100}
+	pending := []*Message{
+		{ID: 1, From: 2, To: 3, SentAt: 1}, // embargoed: from p2
+		{ID: 2, From: 4, To: 3, SentAt: 2}, // free
+	}
+	if got := dp.PickMessage(3, pending, 50, nil); got != 1 {
+		t.Fatalf("during embargo pick = %d, want the free message (1)", got)
+	}
+	if got := dp.PickMessage(3, pending, 100, nil); got != 0 {
+		t.Fatalf("after embargo pick = %d, want oldest (0)", got)
+	}
+	// All messages embargoed → λ.
+	onlyEmbargoed := pending[:1]
+	if got := dp.PickMessage(3, onlyEmbargoed, 50, nil); got != -1 {
+		t.Fatalf("fully embargoed pick = %d, want -1", got)
+	}
+}

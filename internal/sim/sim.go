@@ -1,0 +1,128 @@
+// Package sim is a deterministic discrete-event simulator for the
+// asynchronous model of §2.3–2.4 of "A Realistic Look At Failure
+// Detectors": computation proceeds in atomic steps in which a process
+// (1) receives one message or the null message λ, (2) queries its
+// failure-detector module, and (3) changes state and sends messages.
+//
+// A run is driven by a seeded scheduler, so identical configurations
+// replay identical runs — the property the Lemma 4.1 adversary (E2)
+// exploits to realize the paper's indistinguishability argument: two
+// runs whose failure patterns agree through time t, executed with the
+// same seed and a realistic detector, are identical through t.
+//
+// Deliberate generalization (documented in DESIGN.md): a step may send
+// a finite set of messages rather than exactly one; broadcast-heavy
+// protocols expand naturally and the equivalence is standard.
+package sim
+
+import (
+	"fmt"
+
+	"realisticfd/internal/model"
+)
+
+// Message is a protocol message in the message buffer (§2.3). Payload
+// is owned by the protocol and must be treated as immutable once sent.
+type Message struct {
+	// ID is unique within a run, in sending order, starting at 1.
+	ID int64
+	// From and To identify sender and destination.
+	From, To model.ProcessID
+	// SentAt is the global time of the sending step.
+	SentAt model.Time
+	// SentBy is the trace index of the sending event, or -1 for
+	// messages injected from outside the run.
+	SentBy int
+	// Payload is the protocol content.
+	Payload any
+}
+
+// String renders a short description of the message.
+func (m *Message) String() string {
+	return fmt.Sprintf("m%d %v→%v @%d", m.ID, m.From, m.To, m.SentAt)
+}
+
+// Send is a message emission requested by a protocol step.
+type Send struct {
+	To      model.ProcessID
+	Payload any
+}
+
+// Broadcast builds a Send to every process in Ω (including self, as
+// the flooding algorithms of Chandra-Toueg assume).
+func Broadcast(n int, payload any) []Send {
+	out := make([]Send, 0, n)
+	for p := 1; p <= n; p++ {
+		out = append(out, Send{To: model.ProcessID(p), Payload: payload})
+	}
+	return out
+}
+
+// EventKind labels observable protocol events recorded in the trace.
+type EventKind int
+
+// Observable protocol event kinds.
+const (
+	// KindDecide marks a consensus decision event.
+	KindDecide EventKind = iota + 1
+	// KindDeliver marks a broadcast delivery (TRB, atomic broadcast).
+	KindDeliver
+	// KindFDOutput marks an emulated failure-detector output change
+	// (the output(P) variable of the T(D⇒P) reduction).
+	KindFDOutput
+	// KindViewChange marks a group-membership view installation.
+	KindViewChange
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case KindDecide:
+		return "decide"
+	case KindDeliver:
+		return "deliver"
+	case KindFDOutput:
+		return "fd-output"
+	case KindViewChange:
+		return "view-change"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// ProtocolEvent is an observable event emitted by a protocol step:
+// decisions, deliveries, emulated-detector outputs. Experiments and
+// property checkers consume these from the trace.
+type ProtocolEvent struct {
+	Kind EventKind
+	// Instance distinguishes concurrent protocol instances (consensus
+	// instance number, TRB instance, view number).
+	Instance int
+	// Value is the decided/delivered value or emitted set.
+	Value any
+}
+
+// Actions is what a protocol step returns: messages to send and
+// observable events that occurred during the step.
+type Actions struct {
+	Sends  []Send
+	Events []ProtocolEvent
+}
+
+// Process is one deterministic automaton A_i bound to a process. Step
+// is the atomic step of §2.3: in is the received message (nil for λ),
+// susp the value seen from the failure-detector module, now the global
+// time (exposed for tracing only — protocol logic must not branch on
+// it in ways the paper's asynchronous model would forbid; protocols in
+// this repository use it only for logging).
+type Process interface {
+	Step(in *Message, susp model.ProcessSet, now model.Time) Actions
+}
+
+// Automaton is a protocol: a family of deterministic automata, one per
+// process (§2.3).
+type Automaton interface {
+	// Spawn instantiates the automaton of process self in a system of
+	// n processes.
+	Spawn(self model.ProcessID, n int) Process
+}

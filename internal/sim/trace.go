@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+
+	"realisticfd/internal/model"
+)
+
+// EventRecord is one step of the schedule S with its time T[k] (§2.4),
+// as recorded in the trace: the process that stepped, the message it
+// received (nil for λ), the failure-detector value it saw, the
+// messages it sent, and the observable protocol events it produced.
+type EventRecord struct {
+	Index int
+	P     model.ProcessID
+	T     model.Time
+	// Msg is the received message, nil for the null message λ.
+	Msg *Message
+	// FD is the failure-detector value d seen in the step.
+	FD model.ProcessSet
+	// Sends are the messages created by the step.
+	Sends []*Message
+	// Events are the observable protocol events of the step.
+	Events []ProtocolEvent
+	// PrevSameProc is the index of P's previous event, or -1.
+	PrevSameProc int
+}
+
+// Trace is the recorded run R = <F, H, C, S, T>: the full schedule
+// with times, the sampled failure-detector history, the (final,
+// possibly adversarially extended) failure pattern, and the state of
+// the message buffer at the end of the run.
+type Trace struct {
+	N       int
+	Events  []EventRecord
+	History *model.History
+	Pattern *model.FailurePattern
+	// Undelivered is the message buffer content when the run stopped.
+	Undelivered []*Message
+	// Stopped reports why the run ended.
+	Stopped StopReason
+	// byProc[p] lists event indices of process p in order.
+	byProc map[model.ProcessID][]int
+}
+
+// StopReason tells why a run ended.
+type StopReason int
+
+// Run stop reasons.
+const (
+	// StopHorizon: the configured horizon was reached.
+	StopHorizon StopReason = iota + 1
+	// StopCondition: the StopWhen predicate fired.
+	StopCondition
+	// StopQuiescent: no process had anything to do and no messages
+	// were pending to alive processes (protocol-level quiescence; the
+	// engine still counts this as a completed run).
+	StopQuiescent
+)
+
+// String implements fmt.Stringer.
+func (s StopReason) String() string {
+	switch s {
+	case StopHorizon:
+		return "horizon"
+	case StopCondition:
+		return "condition"
+	case StopQuiescent:
+		return "quiescent"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(s))
+	}
+}
+
+// EventsOf returns the indices of p's events in schedule order.
+func (tr *Trace) EventsOf(p model.ProcessID) []int { return tr.byProc[p] }
+
+// Decisions returns every decide event in the trace for the given
+// instance (use AnyInstance for all instances), in schedule order.
+func (tr *Trace) Decisions(instance int) []DecisionEvent {
+	var out []DecisionEvent
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		for _, pe := range ev.Events {
+			if pe.Kind == KindDecide && (instance == AnyInstance || pe.Instance == instance) {
+				out = append(out, DecisionEvent{
+					EventIndex: i, P: ev.P, T: ev.T,
+					Instance: pe.Instance, Value: pe.Value,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// AnyInstance selects events of every instance in trace queries.
+const AnyInstance = -1
+
+// DecisionEvent is a decide event located in the trace.
+type DecisionEvent struct {
+	EventIndex int
+	P          model.ProcessID
+	T          model.Time
+	Instance   int
+	Value      any
+}
+
+// ProtocolEvents returns all protocol events of a kind (with their
+// event records), in schedule order.
+func (tr *Trace) ProtocolEvents(kind EventKind) []LocatedEvent {
+	var out []LocatedEvent
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		for _, pe := range ev.Events {
+			if pe.Kind == kind {
+				out = append(out, LocatedEvent{EventIndex: i, P: ev.P, T: ev.T, Event: pe})
+			}
+		}
+	}
+	return out
+}
+
+// LocatedEvent is a protocol event located in the trace.
+type LocatedEvent struct {
+	EventIndex int
+	P          model.ProcessID
+	T          model.Time
+	Event      ProtocolEvent
+}
+
+// CausalPast returns the set of event indices in the causal past of
+// event i, inclusive of i itself: the transitive closure over
+// program-order edges (previous step of the same process) and message
+// edges (receive ← send). This is the causal chain of §4.2 used by
+// the totality definition.
+func (tr *Trace) CausalPast(i int) []int {
+	if i < 0 || i >= len(tr.Events) {
+		return nil
+	}
+	seen := make([]bool, len(tr.Events))
+	stack := []int{i}
+	seen[i] = true
+	for len(stack) > 0 {
+		j := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ev := &tr.Events[j]
+		if k := ev.PrevSameProc; k >= 0 && !seen[k] {
+			seen[k] = true
+			stack = append(stack, k)
+		}
+		if ev.Msg != nil && ev.Msg.SentBy >= 0 && !seen[ev.Msg.SentBy] {
+			seen[ev.Msg.SentBy] = true
+			stack = append(stack, ev.Msg.SentBy)
+		}
+	}
+	out := make([]int, 0, 64)
+	for j, ok := range seen {
+		if ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Contributors returns the processes that contributed a message to the
+// causal chain of event i, plus the process of i itself: the set the
+// totality definition of §4.2 compares against the alive set. A
+// process q ≠ P(i) contributes iff some event in the causal past of i
+// received a message sent by q.
+func (tr *Trace) Contributors(i int) model.ProcessSet {
+	past := tr.CausalPast(i)
+	out := model.NewProcessSet(tr.Events[i].P)
+	for _, j := range past {
+		ev := &tr.Events[j]
+		if ev.Msg != nil {
+			out = out.Add(ev.Msg.From)
+		}
+	}
+	return out
+}
+
+// MaxTime returns the time of the last event, or 0 for an empty trace.
+func (tr *Trace) MaxTime() model.Time {
+	if len(tr.Events) == 0 {
+		return 0
+	}
+	return tr.Events[len(tr.Events)-1].T
+}
+
+// DeliveredTo counts messages received (non-λ steps) by p.
+func (tr *Trace) DeliveredTo(p model.ProcessID) int {
+	cnt := 0
+	for _, i := range tr.byProc[p] {
+		if tr.Events[i].Msg != nil {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// UndeliveredTo returns pending messages addressed to p when the run
+// stopped. Condition (5) of §2.4 requires that messages to correct
+// processes be eventually received; experiments that depend on it
+// either run to protocol quiescence or audit this set.
+func (tr *Trace) UndeliveredTo(p model.ProcessID) []*Message {
+	var out []*Message
+	for _, m := range tr.Undelivered {
+		if m.To == p {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// String summarizes the trace.
+func (tr *Trace) String() string {
+	return fmt.Sprintf("trace{%d events, t≤%d, stopped=%v, %d undelivered, pattern=%v}",
+		len(tr.Events), tr.MaxTime(), tr.Stopped, len(tr.Undelivered), tr.Pattern)
+}

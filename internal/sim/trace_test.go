@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+)
+
+func TestEventKindString(t *testing.T) {
+	t.Parallel()
+	cases := map[EventKind]string{
+		KindDecide:     "decide",
+		KindDeliver:    "deliver",
+		KindFDOutput:   "fd-output",
+		KindViewChange: "view-change",
+		EventKind(42):  "EventKind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestStopReasonString(t *testing.T) {
+	t.Parallel()
+	cases := map[StopReason]string{
+		StopHorizon:    "horizon",
+		StopCondition:  "condition",
+		StopQuiescent:  "quiescent",
+		StopReason(42): "StopReason(42)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestTraceStringAndMessageString(t *testing.T) {
+	t.Parallel()
+	tr, err := Execute(Config{
+		N: 4, Automaton: broadcastAutomaton{}, Oracle: fd.Perfect{},
+		Horizon: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.String()
+	for _, want := range []string{"events", "stopped", "pattern"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Trace.String() = %q missing %q", s, want)
+		}
+	}
+	for _, ev := range tr.Events {
+		for _, m := range ev.Sends {
+			ms := m.String()
+			if !strings.Contains(ms, "→") || !strings.Contains(ms, "m") {
+				t.Fatalf("Message.String() = %q", ms)
+			}
+			break
+		}
+	}
+}
+
+func TestCausalPastOutOfRange(t *testing.T) {
+	t.Parallel()
+	tr := &Trace{N: 4}
+	if got := tr.CausalPast(-1); got != nil {
+		t.Errorf("CausalPast(-1) = %v", got)
+	}
+	if got := tr.CausalPast(0); got != nil {
+		t.Errorf("CausalPast(0) on empty trace = %v", got)
+	}
+}
+
+func TestDecisionsFiltersInstance(t *testing.T) {
+	t.Parallel()
+	tr, err := Execute(Config{
+		N: 4, Automaton: multiInstanceDecider{}, Oracle: fd.Perfect{}, Horizon: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Decisions(0)); got != 4 {
+		t.Errorf("instance-0 decisions = %d, want 4", got)
+	}
+	if got := len(tr.Decisions(1)); got != 4 {
+		t.Errorf("instance-1 decisions = %d, want 4", got)
+	}
+	if got := len(tr.Decisions(AnyInstance)); got != 8 {
+		t.Errorf("all decisions = %d, want 8", got)
+	}
+	if got := len(tr.Decisions(7)); got != 0 {
+		t.Errorf("instance-7 decisions = %d, want 0", got)
+	}
+}
+
+// multiInstanceDecider decides instance 0 and 1 on its first step.
+type multiInstanceDecider struct{}
+
+type midProc struct{ done bool }
+
+func (multiInstanceDecider) Spawn(model.ProcessID, int) Process { return &midProc{} }
+
+func (p *midProc) Step(*Message, model.ProcessSet, model.Time) Actions {
+	if p.done {
+		return Actions{}
+	}
+	p.done = true
+	return Actions{Events: []ProtocolEvent{
+		{Kind: KindDecide, Instance: 0, Value: "a"},
+		{Kind: KindDecide, Instance: 1, Value: "b"},
+	}}
+}
+
+func TestEngineRejectsBadPolicyPick(t *testing.T) {
+	t.Parallel()
+	_, err := Execute(Config{
+		N: 4, Automaton: broadcastAutomaton{}, Oracle: fd.Perfect{},
+		Horizon: 50, Policy: &badPickPolicy{},
+	})
+	if err == nil {
+		t.Fatal("out-of-range message pick accepted")
+	}
+}
+
+// badPickPolicy returns an out-of-range message index once traffic
+// exists.
+type badPickPolicy struct{ fair FairPolicy }
+
+func (bp *badPickPolicy) NextProcess(alive []model.ProcessID, t model.Time, r *rand.Rand) model.ProcessID {
+	return bp.fair.NextProcess(alive, t, r)
+}
+
+func (bp *badPickPolicy) PickMessage(_ model.ProcessID, pending []*Message, _ model.Time, _ *rand.Rand) int {
+	return len(pending) + 3 // deliberately out of range
+}

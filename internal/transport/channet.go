@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"realisticfd/internal/model"
+)
+
+// ChanNetwork is an in-process network of n nodes with seeded fault
+// injection: per-message delay jitter, probabilistic loss, and
+// dynamic partitions. It is the deterministic-ish substrate for
+// heartbeat and membership tests (delays use real timers; determinism
+// of *content* comes from the seeded drop/delay draws).
+type ChanNetwork struct {
+	n int
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	closed    bool
+	minDelay  time.Duration
+	maxDelay  time.Duration
+	dropPct   int
+	blocked   map[[2]model.ProcessID]bool
+	deliverWG sync.WaitGroup
+
+	nodes []*chanNode
+}
+
+// ChanOption configures a ChanNetwork.
+type ChanOption func(*ChanNetwork)
+
+// WithDelay sets the per-message delay range.
+func WithDelay(min, max time.Duration) ChanOption {
+	return func(c *ChanNetwork) { c.minDelay, c.maxDelay = min, max }
+}
+
+// WithDrop sets the percentage (0..100) of messages silently lost.
+func WithDrop(pct int) ChanOption {
+	return func(c *ChanNetwork) { c.dropPct = pct }
+}
+
+// WithSeed seeds the fault-injection randomness.
+func WithSeed(seed int64) ChanOption {
+	return func(c *ChanNetwork) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewChanNetwork builds an n-node in-process network.
+func NewChanNetwork(n int, opts ...ChanOption) (*ChanNetwork, error) {
+	if err := model.ValidateN(n); err != nil {
+		return nil, err
+	}
+	c := &ChanNetwork{
+		n:       n,
+		rng:     rand.New(rand.NewSource(1)),
+		blocked: map[[2]model.ProcessID]bool{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.nodes = make([]*chanNode, n+1)
+	for p := 1; p <= n; p++ {
+		c.nodes[p] = &chanNode{
+			net:  c,
+			self: model.ProcessID(p),
+			in:   make(chan Envelope, 256),
+		}
+	}
+	return c, nil
+}
+
+// Node returns the transport endpoint of process p.
+func (c *ChanNetwork) Node(p model.ProcessID) Transport {
+	if p < 1 || int(p) > c.n {
+		panic("transport: node out of range")
+	}
+	return c.nodes[p]
+}
+
+// Partition blocks traffic in both directions between a and b.
+func (c *ChanNetwork) Partition(a, b model.ProcessID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blocked[[2]model.ProcessID{a, b}] = true
+	c.blocked[[2]model.ProcessID{b, a}] = true
+}
+
+// Heal removes the partition between a and b.
+func (c *ChanNetwork) Heal(a, b model.ProcessID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.blocked, [2]model.ProcessID{a, b})
+	delete(c.blocked, [2]model.ProcessID{b, a})
+}
+
+// Isolate partitions p from every other node — the transport-level
+// equivalent of a crash, as seen by everyone else.
+func (c *ChanNetwork) Isolate(p model.ProcessID) {
+	for q := 1; q <= c.n; q++ {
+		if model.ProcessID(q) != p {
+			c.Partition(p, model.ProcessID(q))
+		}
+	}
+}
+
+// Close shuts the network down: further sends fail, in-flight
+// deliveries are awaited, and node channels close.
+func (c *ChanNetwork) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	c.deliverWG.Wait()
+	for p := 1; p <= c.n; p++ {
+		close(c.nodes[p].in)
+	}
+	return nil
+}
+
+// send is the hub: applies loss, partition and delay, then delivers.
+func (c *ChanNetwork) send(env Envelope) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if env.To < 1 || int(env.To) > c.n {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.blocked[[2]model.ProcessID{env.From, env.To}] {
+		c.mu.Unlock()
+		return nil // silently dropped, like a real partition
+	}
+	if c.dropPct > 0 && c.rng.Intn(100) < c.dropPct {
+		c.mu.Unlock()
+		return nil
+	}
+	delay := c.minDelay
+	if c.maxDelay > c.minDelay {
+		delay += time.Duration(c.rng.Int63n(int64(c.maxDelay - c.minDelay)))
+	}
+	c.deliverWG.Add(1)
+	c.mu.Unlock()
+
+	deliver := func() {
+		defer c.deliverWG.Done()
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case c.nodes[env.To].in <- env:
+		default:
+			// Receiver queue full: drop, as a kernel socket buffer
+			// would.
+		}
+	}
+	if delay <= 0 {
+		deliver()
+		return nil
+	}
+	time.AfterFunc(delay, deliver)
+	return nil
+}
+
+// chanNode is one endpoint of a ChanNetwork.
+type chanNode struct {
+	net  *ChanNetwork
+	self model.ProcessID
+	in   chan Envelope
+}
+
+var _ Transport = (*chanNode)(nil)
+
+// Self implements Transport.
+func (nd *chanNode) Self() model.ProcessID { return nd.self }
+
+// Send implements Transport.
+func (nd *chanNode) Send(env Envelope) error {
+	env.From = nd.self
+	return nd.net.send(env)
+}
+
+// Recv implements Transport.
+func (nd *chanNode) Recv() <-chan Envelope { return nd.in }
+
+// Close implements Transport; closing one node closes the network.
+func (nd *chanNode) Close() error { return nd.net.Close() }

@@ -1,0 +1,66 @@
+package transport
+
+import "sync"
+
+// Demux fans one envelope stream out by Type, so several protocols
+// (membership, consensus, application) can share a node's transport
+// behind a heartbeat detector's Forward stream. Channels for
+// unclaimed types drop silently, like unbound ports.
+type Demux struct {
+	mu   sync.Mutex
+	outs map[string]chan Envelope
+
+	done chan struct{}
+}
+
+// NewDemux starts demultiplexing in. Claim output channels with Chan
+// *before* traffic of that type is expected; envelopes of unclaimed
+// types are dropped. The demux stops when in closes; all output
+// channels close then.
+func NewDemux(in <-chan Envelope) *Demux {
+	d := &Demux{
+		outs: map[string]chan Envelope{},
+		done: make(chan struct{}),
+	}
+	go d.run(in)
+	return d
+}
+
+// Chan returns (creating if needed) the channel carrying envelopes of
+// the given type.
+func (d *Demux) Chan(typ string) <-chan Envelope {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ch, ok := d.outs[typ]
+	if !ok {
+		ch = make(chan Envelope, 64)
+		d.outs[typ] = ch
+	}
+	return ch
+}
+
+// Done reports demux termination (the input stream closed).
+func (d *Demux) Done() <-chan struct{} { return d.done }
+
+func (d *Demux) run(in <-chan Envelope) {
+	defer func() {
+		d.mu.Lock()
+		for _, ch := range d.outs {
+			close(ch)
+		}
+		d.mu.Unlock()
+		close(d.done)
+	}()
+	for env := range in {
+		d.mu.Lock()
+		ch := d.outs[env.Type]
+		d.mu.Unlock()
+		if ch == nil {
+			continue
+		}
+		select {
+		case ch <- env:
+		default: // slow consumer: drop, like a full socket buffer
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDemuxRoutesByType(t *testing.T) {
+	t.Parallel()
+	in := make(chan Envelope, 8)
+	d := NewDemux(in)
+	a := d.Chan("alpha")
+	b := d.Chan("beta")
+
+	in <- Envelope{From: 1, Type: "alpha"}
+	in <- Envelope{From: 2, Type: "beta"}
+	in <- Envelope{From: 3, Type: "unclaimed"} // dropped
+	in <- Envelope{From: 4, Type: "alpha"}
+
+	got := func(ch <-chan Envelope) Envelope {
+		select {
+		case e := <-ch:
+			return e
+		case <-time.After(2 * time.Second):
+			t.Fatal("timeout")
+			return Envelope{}
+		}
+	}
+	if e := got(a); e.From != 1 {
+		t.Fatalf("alpha #1 from %v", e.From)
+	}
+	if e := got(b); e.From != 2 {
+		t.Fatalf("beta #1 from %v", e.From)
+	}
+	if e := got(a); e.From != 4 {
+		t.Fatalf("alpha #2 from %v", e.From)
+	}
+
+	close(in)
+	select {
+	case <-d.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("demux did not stop on input close")
+	}
+	if _, ok := <-a; ok {
+		t.Fatal("output channel not closed")
+	}
+}
+
+func TestDemuxChanIdempotent(t *testing.T) {
+	t.Parallel()
+	in := make(chan Envelope)
+	d := NewDemux(in)
+	if d.Chan("x") != d.Chan("x") {
+		t.Fatal("Chan returned two channels for one type")
+	}
+	close(in)
+	<-d.Done()
+}

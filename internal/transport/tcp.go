@@ -1,0 +1,263 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"realisticfd/internal/model"
+)
+
+// TCPNode is a Transport over real TCP sockets on localhost: each node
+// listens on its own port and dials peers on demand; frames are
+// length-prefixed JSON envelopes. This is the "heartbeats over
+// sockets" substrate of experiment E9 and the livecluster example.
+type TCPNode struct {
+	self model.ProcessID
+	ln   net.Listener
+	in   chan Envelope
+
+	mu       sync.Mutex
+	peers    map[model.ProcessID]string
+	conns    map[model.ProcessID]net.Conn
+	accepted map[net.Conn]bool
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+var _ Transport = (*TCPNode)(nil)
+
+// maxFrame bounds a frame to 1 MiB; larger frames indicate corruption.
+const maxFrame = 1 << 20
+
+// NewTCPNode starts a node listening on 127.0.0.1:0 (kernel-assigned
+// port). Register peer addresses with SetPeer before sending.
+func NewTCPNode(self model.ProcessID) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	n := &TCPNode{
+		self:     self,
+		ln:       ln,
+		in:       make(chan Envelope, 256),
+		peers:    map[model.ProcessID]string{},
+		conns:    map[model.ProcessID]net.Conn{},
+		accepted: map[net.Conn]bool{},
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address, for peer registration.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// SetPeer registers the address of peer p.
+func (n *TCPNode) SetPeer(p model.ProcessID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[p] = addr
+}
+
+// Self implements Transport.
+func (n *TCPNode) Self() model.ProcessID { return n.self }
+
+// Recv implements Transport.
+func (n *TCPNode) Recv() <-chan Envelope { return n.in }
+
+// Send implements Transport: dial-on-demand with connection reuse.
+// A peer that cannot be reached loses the message silently (crash-stop
+// peers look exactly like that); dialing errors for unregistered
+// peers are returned.
+func (n *TCPNode) Send(env Envelope) error {
+	env.From = n.self
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	conn, ok := n.conns[env.To]
+	if !ok {
+		addr, known := n.peers[env.To]
+		if !known {
+			n.mu.Unlock()
+			return fmt.Errorf("transport: peer %v not registered", env.To)
+		}
+		var err error
+		conn, err = net.Dial("tcp", addr)
+		if err != nil {
+			n.mu.Unlock()
+			return nil // unreachable peer ≈ lost message
+		}
+		n.conns[env.To] = conn
+	}
+	n.mu.Unlock()
+
+	if err := writeFrame(conn, env); err != nil {
+		n.mu.Lock()
+		if n.conns[env.To] == conn {
+			delete(n.conns, env.To)
+		}
+		n.mu.Unlock()
+		_ = conn.Close()
+		return nil // broken pipe ≈ lost message
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]net.Conn, 0, len(n.conns)+len(n.accepted))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	for c := range n.accepted {
+		conns = append(conns, c)
+	}
+	n.conns = map[model.ProcessID]net.Conn{}
+	n.accepted = map[net.Conn]bool{}
+	n.mu.Unlock()
+
+	_ = n.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+	close(n.in)
+	return nil
+}
+
+// acceptLoop accepts inbound connections and spawns a reader per
+// connection.
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.accepted[conn] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection into the recv
+// channel.
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		env, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case n.in <- env:
+		default:
+			// Receiver queue full: drop like a full socket buffer.
+		}
+	}
+}
+
+// writeFrame emits a length-prefixed JSON envelope.
+func writeFrame(w io.Writer, env Envelope) error {
+	b, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON envelope.
+func readFrame(r io.Reader) (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return Envelope{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Envelope{}, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return Envelope{}, fmt.Errorf("transport: bad frame: %w", err)
+	}
+	return env, nil
+}
+
+// NewTCPCluster starts n interconnected TCP nodes on localhost and
+// registers all peer addresses. Close every node (or use
+// CloseTCPCluster) when done.
+func NewTCPCluster(n int) ([]*TCPNode, error) {
+	if err := model.ValidateN(n); err != nil {
+		return nil, err
+	}
+	nodes := make([]*TCPNode, 0, n)
+	for p := 1; p <= n; p++ {
+		nd, err := NewTCPNode(model.ProcessID(p))
+		if err != nil {
+			CloseTCPCluster(nodes)
+			return nil, err
+		}
+		nodes = append(nodes, nd)
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				a.SetPeer(b.Self(), b.Addr())
+			}
+		}
+	}
+	return nodes, nil
+}
+
+// CloseTCPCluster closes every node of a cluster.
+func CloseTCPCluster(nodes []*TCPNode) {
+	for _, nd := range nodes {
+		if nd != nil {
+			_ = nd.Close()
+		}
+	}
+}

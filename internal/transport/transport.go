@@ -1,0 +1,64 @@
+// Package transport provides the live message layer under the
+// heartbeat failure detectors and the membership service: an
+// in-process network with seeded delay/drop/partition injection for
+// deterministic tests, and a TCP transport (length-prefixed JSON
+// frames over localhost sockets) for the real thing.
+//
+// The paper's practical observation (§1.3) is that real systems
+// emulate a Perfect detector with timeout-based group membership; this
+// package supplies the "real" substrate those experiments (E9) run on.
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"realisticfd/internal/model"
+)
+
+// Envelope is one transport message. Payload is an opaque JSON blob so
+// heterogeneous protocols (heartbeats, membership, application) share
+// a link.
+type Envelope struct {
+	From model.ProcessID `json:"from"`
+	To   model.ProcessID `json:"to"`
+	Type string          `json:"type"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Marshal encodes v into the envelope body.
+func (e *Envelope) Marshal(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("transport: marshal body: %w", err)
+	}
+	e.Body = b
+	return nil
+}
+
+// Unmarshal decodes the envelope body into v.
+func (e *Envelope) Unmarshal(v any) error {
+	if err := json.Unmarshal(e.Body, v); err != nil {
+		return fmt.Errorf("transport: unmarshal body: %w", err)
+	}
+	return nil
+}
+
+// Transport is one node's endpoint. Implementations must be safe for
+// concurrent use. Recv's channel is closed by Close.
+type Transport interface {
+	// Self returns the node's identity.
+	Self() model.ProcessID
+	// Send transmits the envelope to env.To. Sends after Close (or to
+	// closed networks) return ErrClosed; sends lost to injected
+	// faults return nil — loss is silent, as on a real network.
+	Send(env Envelope) error
+	// Recv returns the channel of inbound envelopes.
+	Recv() <-chan Envelope
+	// Close releases resources and unblocks Recv.
+	Close() error
+}
+
+// ErrClosed is returned by sends on closed transports.
+var ErrClosed = errors.New("transport: closed")

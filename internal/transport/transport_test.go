@@ -1,0 +1,248 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"realisticfd/internal/model"
+)
+
+func recvWithin(t *testing.T, tr Transport, d time.Duration) (Envelope, bool) {
+	t.Helper()
+	select {
+	case env, ok := <-tr.Recv():
+		return env, ok
+	case <-time.After(d):
+		return Envelope{}, false
+	}
+}
+
+func TestEnvelopeBodyRoundTrip(t *testing.T) {
+	t.Parallel()
+	type payload struct {
+		Seq  int    `json:"seq"`
+		Note string `json:"note"`
+	}
+	var env Envelope
+	if err := env.Marshal(payload{Seq: 7, Note: "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := env.Unmarshal(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || got.Note != "hi" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestChanNetworkDelivery(t *testing.T) {
+	t.Parallel()
+	net, err := NewChanNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+
+	n1, n2 := net.Node(1), net.Node(2)
+	if err := n1.Send(Envelope{To: 2, Type: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	env, ok := recvWithin(t, n2, time.Second)
+	if !ok {
+		t.Fatal("no delivery")
+	}
+	if env.From != 1 || env.To != 2 || env.Type != "ping" {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestChanNetworkPartitionAndHeal(t *testing.T) {
+	t.Parallel()
+	net, err := NewChanNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+
+	net.Partition(1, 2)
+	if err := net.Node(1).Send(Envelope{To: 2, Type: "lost"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, net.Node(2), 50*time.Millisecond); ok {
+		t.Fatal("partitioned message delivered")
+	}
+	net.Heal(1, 2)
+	if err := net.Node(1).Send(Envelope{To: 2, Type: "back"}); err != nil {
+		t.Fatal(err)
+	}
+	if env, ok := recvWithin(t, net.Node(2), time.Second); !ok || env.Type != "back" {
+		t.Fatalf("post-heal delivery failed: %+v ok=%v", env, ok)
+	}
+}
+
+func TestChanNetworkIsolate(t *testing.T) {
+	t.Parallel()
+	net, err := NewChanNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	net.Isolate(3)
+	for q := model.ProcessID(1); q <= 4; q++ {
+		if q == 3 {
+			continue
+		}
+		if err := net.Node(3).Send(Envelope{To: q, Type: "x"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := recvWithin(t, net.Node(q), 30*time.Millisecond); ok {
+			t.Fatalf("isolated node reached %v", q)
+		}
+	}
+}
+
+func TestChanNetworkDropAll(t *testing.T) {
+	t.Parallel()
+	net, err := NewChanNetwork(4, WithDrop(100), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	for i := 0; i < 20; i++ {
+		if err := net.Node(1).Send(Envelope{To: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := recvWithin(t, net.Node(2), 50*time.Millisecond); ok {
+		t.Fatal("message survived 100% drop")
+	}
+}
+
+func TestChanNetworkDelayedDelivery(t *testing.T) {
+	t.Parallel()
+	net, err := NewChanNetwork(4, WithDelay(20*time.Millisecond, 30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	start := time.Now()
+	if err := net.Node(1).Send(Envelope{To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, net.Node(2), time.Second); !ok {
+		t.Fatal("no delivery")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delivered after %v, want ≥ ~20ms", elapsed)
+	}
+}
+
+func TestChanNetworkSendAfterClose(t *testing.T) {
+	t.Parallel()
+	net, err := NewChanNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Node(1).Send(Envelope{To: 2}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	// Recv channel is closed.
+	if _, ok := <-net.Node(2).Recv(); ok {
+		t.Fatal("recv channel not closed")
+	}
+	// Double close is fine.
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPClusterRoundTrip(t *testing.T) {
+	t.Parallel()
+	nodes, err := NewTCPCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseTCPCluster(nodes)
+
+	env := Envelope{To: 3, Type: "hb"}
+	if err := env.Marshal(map[string]int{"seq": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Send(env); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := recvWithin(t, nodes[2], 2*time.Second)
+	if !ok {
+		t.Fatal("no TCP delivery")
+	}
+	if got.From != 1 || got.Type != "hb" {
+		t.Fatalf("got %+v", got)
+	}
+	var body map[string]int
+	if err := got.Unmarshal(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["seq"] != 1 {
+		t.Fatalf("body = %v", body)
+	}
+}
+
+func TestTCPManyMessagesBothDirections(t *testing.T) {
+	t.Parallel()
+	nodes, err := NewTCPCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseTCPCluster(nodes)
+
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		if err := nodes[0].Send(Envelope{To: 2, Type: "a"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := nodes[1].Send(Envelope{To: 1, Type: "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		if _, ok := recvWithin(t, nodes[1], 2*time.Second); !ok {
+			t.Fatalf("n2 missing message %d", i)
+		}
+		if _, ok := recvWithin(t, nodes[0], 2*time.Second); !ok {
+			t.Fatalf("n1 missing message %d", i)
+		}
+	}
+}
+
+func TestTCPSendToDeadPeerIsSilentLoss(t *testing.T) {
+	t.Parallel()
+	nodes, err := NewTCPCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseTCPCluster(nodes)
+
+	// Kill node 4, then send to it: crash-stop peers look like loss.
+	if err := nodes[3].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Send(Envelope{To: 4, Type: "x"}); err != nil {
+		t.Fatalf("send to dead peer should be silent, got %v", err)
+	}
+}
+
+func TestTCPSendUnregisteredPeer(t *testing.T) {
+	t.Parallel()
+	nd, err := NewTCPNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = nd.Close() }()
+	if err := nd.Send(Envelope{To: 9}); err == nil {
+		t.Fatal("send to unregistered peer succeeded")
+	}
+}

@@ -1,0 +1,43 @@
+package trb
+
+import (
+	"testing"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+func BenchmarkTRBWave(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pat := model.MustPattern(5).MustCrash(2, 30)
+		tr, err := sim.Execute(sim.Config{
+			N: 5, Automaton: Broadcast{Waves: 1}, Oracle: fd.Perfect{Delay: 2},
+			Pattern: pat, Horizon: 60000, Seed: int64(i),
+			StopWhen: allDelivered(1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Stopped != sim.StopCondition {
+			b.Fatal("wave incomplete")
+		}
+	}
+}
+
+func BenchmarkDeliveriesExtraction(b *testing.B) {
+	tr, err := sim.Execute(sim.Config{
+		N: 5, Automaton: Broadcast{Waves: 3}, Oracle: fd.Perfect{Delay: 2},
+		Pattern: model.MustPattern(5), Horizon: 60000, Seed: 1,
+		StopWhen: allDelivered(3),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Deliveries(tr)
+	}
+}

@@ -1,0 +1,162 @@
+package trb
+
+import (
+	"fmt"
+
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+// Delivery is one located TRB delivery.
+type Delivery struct {
+	Initiator model.ProcessID
+	Seq       int
+	By        model.ProcessID
+	At        model.Time
+	Value     consensus.Value
+}
+
+// IsNil reports whether the delivery is the nil value for a crashed
+// initiator.
+func (d Delivery) IsNil() bool { return d.Value == Nil }
+
+// Deliveries extracts every TRB delivery from a trace, keyed by
+// instance then deliverer.
+func Deliveries(tr *sim.Trace) map[int]map[model.ProcessID]Delivery {
+	out := map[int]map[model.ProcessID]Delivery{}
+	for _, le := range tr.ProtocolEvents(sim.KindDeliver) {
+		v, ok := le.Event.Value.(consensus.Value)
+		if !ok {
+			continue
+		}
+		init, seq := SplitInstanceID(le.Event.Instance)
+		m := out[le.Event.Instance]
+		if m == nil {
+			m = map[model.ProcessID]Delivery{}
+			out[le.Event.Instance] = m
+		}
+		if _, dup := m[le.P]; !dup {
+			m[le.P] = Delivery{Initiator: init, Seq: seq, By: le.P, At: le.T, Value: v}
+		}
+	}
+	return out
+}
+
+// CheckAgreement verifies that for every instance, all deliverers
+// delivered the same value (property 2 of §5).
+func CheckAgreement(tr *sim.Trace) error {
+	for id, m := range Deliveries(tr) {
+		var ref consensus.Value
+		var refBy model.ProcessID
+		first := true
+		for p := model.ProcessID(1); int(p) <= tr.N; p++ {
+			d, ok := m[p]
+			if !ok {
+				continue
+			}
+			if first {
+				ref, refBy, first = d.Value, p, false
+			} else if d.Value != ref {
+				init, seq := SplitInstanceID(id)
+				return fmt.Errorf("trb agreement violated for (%v,%d): %v delivered %q, %v delivered %q",
+					init, seq, refBy, ref, p, d.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTermination verifies every correct process delivered every
+// instance of every wave.
+func CheckTermination(tr *sim.Trace, waves int) error {
+	dels := Deliveries(tr)
+	correct := tr.Pattern.Correct()
+	for init := 1; init <= tr.N; init++ {
+		for k := 0; k < waves; k++ {
+			id := InstanceID(model.ProcessID(init), k)
+			m := dels[id]
+			for _, p := range correct.Slice() {
+				if _, ok := m[p]; !ok {
+					return fmt.Errorf("trb termination violated: correct %v never delivered (%v,%d)",
+						p, model.ProcessID(init), k)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckValidity verifies property 1 of §5: a correct initiator's
+// instances deliver its actual message, never nil.
+func CheckValidity(tr *sim.Trace, waves int, script func(model.ProcessID, int) consensus.Value) error {
+	if script == nil {
+		script = DefaultScript
+	}
+	dels := Deliveries(tr)
+	for _, init := range tr.Pattern.Correct().Slice() {
+		for k := 0; k < waves; k++ {
+			want := script(init, k)
+			for _, d := range dels[InstanceID(init, k)] {
+				if d.Value != want {
+					return fmt.Errorf("trb validity violated: (%v,%d) delivered %q at %v, want %q",
+						init, k, d.Value, d.By, want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckIntegrity verifies property 3 of §5 in the crash-stop setting:
+// every delivered non-nil value is exactly what the instance's
+// initiator broadcast.
+func CheckIntegrity(tr *sim.Trace, script func(model.ProcessID, int) consensus.Value) error {
+	if script == nil {
+		script = DefaultScript
+	}
+	for id, m := range Deliveries(tr) {
+		init, seq := SplitInstanceID(id)
+		want := script(init, seq)
+		for _, d := range m {
+			if !d.IsNil() && d.Value != want {
+				return fmt.Errorf("trb integrity violated: (%v,%d) delivered %q at %v, initiator broadcast %q",
+					init, seq, d.Value, d.By, want)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckNilAccuracy verifies the realistic reading of Proposition 5.1's
+// necessary direction: whenever nil is delivered for an instance of
+// p_i at time t, p_i has crashed by t. This is exactly the step of
+// the proof that requires D to be realistic.
+func CheckNilAccuracy(tr *sim.Trace) error {
+	for _, m := range Deliveries(tr) {
+		for _, d := range m {
+			if d.IsNil() && tr.Pattern.Alive(d.Initiator, d.At) {
+				return fmt.Errorf("trb nil-accuracy violated: %v delivered nil for (%v,%d) at t=%d while %v was alive",
+					d.By, d.Initiator, d.Seq, d.At, d.Initiator)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAll runs every TRB property.
+func CheckAll(tr *sim.Trace, waves int, script func(model.ProcessID, int) consensus.Value) error {
+	if err := CheckTermination(tr, waves); err != nil {
+		return err
+	}
+	if err := CheckAgreement(tr); err != nil {
+		return err
+	}
+	if err := CheckValidity(tr, waves, script); err != nil {
+		return err
+	}
+	if err := CheckIntegrity(tr, script); err != nil {
+		return err
+	}
+	return CheckNilAccuracy(tr)
+}

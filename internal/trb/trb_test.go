@@ -1,0 +1,186 @@
+package trb
+
+import (
+	"fmt"
+	"testing"
+
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+// allDelivered stops the run once every correct process delivered
+// every instance.
+func allDelivered(waves int) func(*sim.Trace) bool {
+	return func(tr *sim.Trace) bool {
+		dels := Deliveries(tr)
+		correct := tr.Pattern.Correct()
+		for init := 1; init <= tr.N; init++ {
+			for k := 0; k < waves; k++ {
+				m := dels[InstanceID(model.ProcessID(init), k)]
+				for _, p := range correct.Slice() {
+					if _, ok := m[p]; !ok {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+}
+
+func runTRB(t *testing.T, pat *model.FailurePattern, waves int, seed int64) *sim.Trace {
+	t.Helper()
+	tr, err := sim.Execute(sim.Config{
+		N:         pat.N(),
+		Automaton: Broadcast{Waves: waves},
+		Oracle:    fd.Perfect{Delay: 2},
+		Pattern:   pat,
+		Horizon:   60000,
+		Seed:      seed,
+		Policy:    &sim.RandomFairPolicy{},
+		StopWhen:  allDelivered(waves),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stopped != sim.StopCondition {
+		t.Fatalf("TRB run did not complete: %v", tr)
+	}
+	return tr
+}
+
+func TestInstanceIDRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, init := range []model.ProcessID{1, 5, 64} {
+		for _, seq := range []int{0, 1, 999} {
+			i, k := SplitInstanceID(InstanceID(init, seq))
+			if i != init || k != seq {
+				t.Fatalf("round trip (%v,%d) → (%v,%d)", init, seq, i, k)
+			}
+		}
+	}
+}
+
+func TestTRBFailureFree(t *testing.T) {
+	t.Parallel()
+	const waves = 2
+	for seed := int64(0); seed < 5; seed++ {
+		tr := runTRB(t, model.MustPattern(5), waves, seed)
+		if err := CheckAll(tr, waves, nil); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// No nil anywhere: all initiators are correct.
+		for _, m := range Deliveries(tr) {
+			for _, d := range m {
+				if d.IsNil() {
+					t.Fatalf("seed %d: nil delivered for correct initiator (%v,%d)", seed, d.Initiator, d.Seq)
+				}
+			}
+		}
+	}
+}
+
+func TestTRBCrashedGeneralDeliversNil(t *testing.T) {
+	t.Parallel()
+	const waves = 2
+	for seed := int64(0); seed < 5; seed++ {
+		// p2 crashes at t=1, before it can broadcast anything.
+		pat := model.MustPattern(5).MustCrash(2, 1)
+		tr := runTRB(t, pat, waves, seed)
+		if err := CheckAll(tr, waves, nil); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		dels := Deliveries(tr)
+		for k := 0; k < waves; k++ {
+			m := dels[InstanceID(2, k)]
+			for _, p := range pat.Correct().Slice() {
+				d, ok := m[p]
+				if !ok {
+					t.Fatalf("seed %d: %v missing delivery for (p2,%d)", seed, p, k)
+				}
+				if !d.IsNil() {
+					t.Fatalf("seed %d: (p2,%d) delivered %q at %v, want nil", seed, k, d.Value, p)
+				}
+			}
+		}
+	}
+}
+
+func TestTRBLateCrashMayDeliverValueOrNil(t *testing.T) {
+	t.Parallel()
+	// p3 crashes mid-run: its instances must still terminate at all
+	// correct processes, with agreement; whether a given instance
+	// yields the value or nil depends on the crash/suspicion race,
+	// and both are legal for a faulty sender.
+	const waves = 3
+	sawNil := false
+	for seed := int64(0); seed < 8; seed++ {
+		pat := model.MustPattern(5).MustCrash(3, 120)
+		tr := runTRB(t, pat, waves, seed)
+		if err := CheckTermination(tr, waves); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := CheckAgreement(tr); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := CheckIntegrity(tr, nil); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := CheckNilAccuracy(tr); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, m := range Deliveries(tr) {
+			for _, d := range m {
+				if d.Initiator == 3 && d.IsNil() {
+					sawNil = true
+				}
+			}
+		}
+	}
+	if !sawNil {
+		t.Error("no seed produced a nil delivery for the crashed p3; crash time too late to bite?")
+	}
+}
+
+func TestTRBUnboundedCrashes(t *testing.T) {
+	t.Parallel()
+	// Proposition 5.1's sufficient direction holds with any number of
+	// failures: crash all but p4.
+	const waves = 2
+	pat := model.MustPattern(5).MustCrash(1, 1).MustCrash(2, 40).MustCrash(3, 80).MustCrash(5, 140)
+	tr := runTRB(t, pat, waves, 3)
+	if err := CheckAll(tr, waves, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTRBCustomScript(t *testing.T) {
+	t.Parallel()
+	script := func(init model.ProcessID, k int) consensus.Value {
+		return consensus.Value(fmt.Sprintf("order-%d-from-%v", k, init))
+	}
+	const waves = 2
+	pat := model.MustPattern(4)
+	tr, err := sim.Execute(sim.Config{
+		N:         4,
+		Automaton: Broadcast{Waves: waves, Script: script},
+		Oracle:    fd.Perfect{Delay: 2},
+		Pattern:   pat,
+		Horizon:   60000,
+		Seed:      1,
+		StopWhen:  allDelivered(waves),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAll(tr, waves, script); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check one delivered value.
+	d := Deliveries(tr)[InstanceID(2, 1)][3]
+	if d.Value != "order-1-from-p2" {
+		t.Fatalf("delivered %q", d.Value)
+	}
+}
