@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/experiments            # all experiments, 5 seeds each
-//	go run ./cmd/experiments -seeds 20  # heavier sweep
-//	go run ./cmd/experiments -only E3   # a single experiment
+//	go run ./cmd/experiments             # all experiments, 5 seeds each
+//	go run ./cmd/experiments -seeds 20   # heavier sweep
+//	go run ./cmd/experiments -only E3    # a single experiment
+//	go run ./cmd/experiments -parallel 1 # sequential (output is identical)
+//
+// Sweeps fan out across a worker pool (default GOMAXPROCS); results
+// are ordered by seed, so the tables are byte-identical at any
+// parallelism.
 package main
 
 import (
@@ -22,7 +27,9 @@ import (
 func main() {
 	seeds := flag.Int("seeds", 5, "seeds per experiment scenario")
 	only := flag.String("only", "", "run a single experiment (E1..E9)")
+	parallel := flag.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	experiments.SetWorkers(*parallel)
 
 	gens := map[string]func(int) *experiments.Table{
 		"E1": experiments.E1Totality,

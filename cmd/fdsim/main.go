@@ -9,6 +9,17 @@
 //	go run ./cmd/fdsim -algo rotating -fd diamond-s -crash p1@5,p2@6,p3@7
 //	go run ./cmd/fdsim -algo trb -fd perfect -crash p3@60
 //	go run ./cmd/fdsim -algo partial -fd p-less -crash p1@30 -v
+//
+// Link faults (-faults) layer message loss, bounded extra delay and
+// healing partitions onto any run:
+//
+//	go run ./cmd/fdsim -algo sflooding -faults delay=6,part=1+2@40-400
+//	go run ./cmd/fdsim -algo rotating -faults drop=15 -runs 50 -parallel 8
+//
+// With -runs > 1 the run becomes a seed sweep on the parallel harness:
+// seeds seed..seed+runs-1 execute across a worker pool and a compact
+// audit table (ordered by seed, byte-identical at any parallelism)
+// replaces the single-run report.
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"realisticfd/internal/consensus"
 	"realisticfd/internal/core"
 	"realisticfd/internal/fd"
+	"realisticfd/internal/harness"
 	"realisticfd/internal/model"
 	"realisticfd/internal/sim"
 	"realisticfd/internal/trb"
@@ -29,14 +41,17 @@ import (
 
 func main() {
 	var (
-		algo    = flag.String("algo", "sflooding", "algorithm: sflooding|rotating|marabout|partial|trb|abcast")
-		oracle  = flag.String("fd", "perfect", "detector: perfect|scribe|marabout|strong|diamond-s|diamond-p|p-less")
-		n       = flag.Int("n", 5, "system size (4..64)")
-		crash   = flag.String("crash", "", "crash list, e.g. p2@40,p5@120")
-		seed    = flag.Int64("seed", 1, "scheduler seed")
-		horizon = flag.Int64("horizon", 60000, "max global-clock ticks")
-		waves   = flag.Int("waves", 2, "TRB waves (trb only)")
-		verbose = flag.Bool("v", false, "dump decisions/deliveries as they happen")
+		algo     = flag.String("algo", "sflooding", "algorithm: sflooding|rotating|marabout|partial|trb|abcast")
+		oracle   = flag.String("fd", "perfect", "detector: perfect|scribe|marabout|strong|diamond-s|diamond-p|p-less")
+		n        = flag.Int("n", 5, "system size (4..64)")
+		crash    = flag.String("crash", "", "crash list, e.g. p2@40,p5@120")
+		seed     = flag.Int64("seed", 1, "scheduler seed (first seed with -runs)")
+		horizon  = flag.Int64("horizon", 60000, "max global-clock ticks")
+		waves    = flag.Int("waves", 2, "TRB waves (trb only)")
+		faults   = flag.String("faults", "", "link faults, e.g. drop=10,delay=5,part=1+2@40-400")
+		runs     = flag.Int("runs", 1, "sweep this many consecutive seeds on the harness")
+		parallel = flag.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "dump decisions/deliveries as they happen")
 	)
 	flag.Parse()
 
@@ -48,40 +63,55 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("algo=%s fd=%s n=%d seed=%d\npattern: %v\n\n", *algo, orc.Name(), *n, *seed, pat)
-
-	cfg := sim.Config{
-		N: *n, Oracle: orc, Pattern: pat,
-		Horizon: model.Time(*horizon), Seed: *seed,
-		Policy: &sim.RandomFairPolicy{},
-	}
-	props := consensus.DistinctProposals(*n)
-
-	switch *algo {
-	case "sflooding":
-		cfg.Automaton = consensus.SFlooding{Proposals: props}
-		cfg.StopWhen = sim.CorrectDecided(0)
-	case "rotating":
-		cfg.Automaton = consensus.Rotating{Proposals: props}
-		cfg.StopWhen = sim.CorrectDecided(0)
-	case "marabout":
-		cfg.Automaton = consensus.MaraboutConsensus{Proposals: props}
-		cfg.StopWhen = sim.CorrectDecided(0)
-	case "partial":
-		cfg.Automaton = consensus.PartialOrder{Proposals: props}
-		cfg.StopWhen = sim.CorrectDecided(0)
-	case "trb":
-		cfg.Automaton = trb.Broadcast{Waves: *waves}
-	case "abcast":
-		cfg.Automaton = abcast.Atomic{ToBroadcast: abcastScript(*n), MaxInstances: 30}
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
-	}
-
-	tr, err := sim.Execute(cfg)
+	plan, err := parseFaults(*faults)
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("algo=%s fd=%s n=%d seed=%d\npattern: %v\nlinks: %v\n\n", *algo, orc.Name(), *n, *seed, pat, plan)
+
+	props := consensus.DistinctProposals(*n)
+	sc := harness.Scenario{
+		Name: *algo, N: *n, Oracle: orc,
+		Horizon: model.Time(*horizon),
+		Pattern: func() *model.FailurePattern { return pat.Clone() },
+		Policy:  func() sim.Policy { return &sim.RandomFairPolicy{} },
+	}
+	if plan.Active() {
+		sc.Faults = &plan
+	}
+
+	switch *algo {
+	case "sflooding":
+		sc.Automaton = consensus.SFlooding{Proposals: props}
+	case "rotating":
+		sc.Automaton = consensus.Rotating{Proposals: props}
+	case "marabout":
+		sc.Automaton = consensus.MaraboutConsensus{Proposals: props}
+	case "partial":
+		sc.Automaton = consensus.PartialOrder{Proposals: props}
+	case "trb":
+		sc.Automaton = trb.Broadcast{Waves: *waves}
+	case "abcast":
+		sc.Automaton = abcast.Atomic{ToBroadcast: abcastScript(*n), MaxInstances: 30}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	switch *algo {
+	case "trb", "abcast":
+	default:
+		sc.StopWhen = func() func(*sim.Trace) bool { return sim.CorrectDecided(0) }
+	}
+
+	if *runs > 1 {
+		sweep(sc, *algo, props, *waves, *n, *seed, *runs, *parallel)
+		return
+	}
+
+	r := sc.Run(*seed)
+	if r.Err != nil {
+		fatal(r.Err)
+	}
+	tr := r.Trace
 	fmt.Printf("run: %v\n\n", tr)
 
 	switch *algo {
@@ -90,8 +120,164 @@ func main() {
 	case "abcast":
 		reportAbcast(tr, abcastScript(*n), *verbose)
 	default:
-		reportConsensus(tr, pat, props, *verbose)
+		reportConsensus(tr, tr.Pattern, props, *verbose)
 	}
+}
+
+// sweep fans the scenario across seeds [from, from+runs) on the
+// worker pool and prints one audit line per seed plus an aggregate.
+func sweep(sc harness.Scenario, algo string, props consensus.Proposals, waves, n int, from int64, runs, workers int) {
+	type line struct {
+		seed     int64
+		events   int
+		maxT     model.Time
+		stopped  sim.StopReason
+		decided  bool
+		auditErr error
+	}
+	lines := harness.Map(sc, harness.SeedRange{From: from, To: from + int64(runs)}, workers, func(r harness.Result) line {
+		if r.Err != nil {
+			return line{seed: r.Seed, auditErr: r.Err}
+		}
+		return line{
+			seed:     r.Seed,
+			events:   len(r.Trace.Events),
+			maxT:     r.Trace.MaxTime(),
+			stopped:  r.Trace.Stopped,
+			decided:  r.Trace.Stopped == sim.StopCondition,
+			auditErr: auditTrace(algo, r.Trace, props, waves, n),
+		}
+	})
+	fmt.Printf("%-6s  %-8s  %-8s  %-9s  %s\n", "seed", "events", "maxT", "stopped", "audit")
+	decided, clean := 0, 0
+	for _, l := range lines {
+		audit := "✓"
+		if l.auditErr != nil {
+			audit = "✗ " + l.auditErr.Error()
+		} else {
+			clean++
+		}
+		if l.decided {
+			decided++
+		}
+		fmt.Printf("%-6d  %-8d  %-8d  %-9v  %s\n", l.seed, l.events, l.maxT, l.stopped, audit)
+	}
+	fmt.Printf("\n%d/%d runs pass the safety audit; %d/%d reached the stop condition\n",
+		clean, runs, decided, runs)
+}
+
+// auditTrace is the compact safety audit of the sweep mode: the
+// properties that must hold in every run, faulty links included
+// (liveness is reported via the stop column, not asserted — a lossy
+// link may legitimately starve it).
+func auditTrace(algo string, tr *sim.Trace, props consensus.Proposals, waves, n int) error {
+	switch algo {
+	case "trb":
+		if err := trb.CheckAgreement(tr); err != nil {
+			return err
+		}
+		if err := trb.CheckValidity(tr, waves, nil); err != nil {
+			return err
+		}
+		return trb.CheckIntegrity(tr, nil)
+	case "abcast":
+		// CheckAgreement compares full sequence lengths and so fails on
+		// mere horizon truncation; total order (prefix consistency) and
+		// integrity are the safety core.
+		if err := abcast.CheckTotalOrder(tr); err != nil {
+			return err
+		}
+		return abcast.CheckIntegrity(tr, abcastScript(n))
+	case "partial":
+		o, err := consensus.ExtractOutcome(tr, 0)
+		if err != nil {
+			return err
+		}
+		if err := o.CheckAgreementAmongCorrect(tr.Pattern); err != nil {
+			return err
+		}
+		return o.CheckValidity(props)
+	default:
+		o, err := consensus.ExtractOutcome(tr, 0)
+		if err != nil {
+			return err
+		}
+		if err := o.CheckUniformAgreement(); err != nil {
+			return err
+		}
+		return o.CheckValidity(props)
+	}
+}
+
+// parseFaults parses the -faults spec: comma-separated items among
+// drop=<pct>, delay=<ticks>, and part=<id>+<id>+...@<from>-<until>
+// (repeatable).
+func parseFaults(spec string) (sim.LinkFaults, error) {
+	var lf sim.LinkFaults
+	if spec == "" {
+		return lf, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		key, val, found := strings.Cut(item, "=")
+		if !found {
+			return lf, fmt.Errorf("bad fault item %q (want key=value)", item)
+		}
+		switch key {
+		case "drop":
+			pct, err := strconv.Atoi(val)
+			if err != nil || pct < 0 || pct > 100 {
+				return lf, fmt.Errorf("bad drop percentage %q", val)
+			}
+			lf.DropPct = pct
+		case "delay":
+			d, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || d < 0 {
+				return lf, fmt.Errorf("bad delay bound %q", val)
+			}
+			lf.MaxExtraDelay = model.Time(d)
+		case "part":
+			pt, err := parsePartition(val)
+			if err != nil {
+				return lf, err
+			}
+			lf.Partitions = append(lf.Partitions, pt)
+		default:
+			return lf, fmt.Errorf("unknown fault %q (want drop|delay|part)", key)
+		}
+	}
+	return lf, nil
+}
+
+// parsePartition parses "1+2@40-400": processes 1 and 2 split off
+// from time 40 until the heal at 400.
+func parsePartition(val string) (sim.Partition, error) {
+	var pt sim.Partition
+	side, window, found := strings.Cut(val, "@")
+	if !found {
+		return pt, fmt.Errorf("bad partition %q (want ids@from-until)", val)
+	}
+	for _, idStr := range strings.Split(side, "+") {
+		id, err := strconv.Atoi(strings.TrimPrefix(strings.TrimSpace(idStr), "p"))
+		if err != nil {
+			return pt, fmt.Errorf("bad process %q in partition", idStr)
+		}
+		pt.Side = pt.Side.Add(model.ProcessID(id))
+	}
+	fromStr, untilStr, found := strings.Cut(window, "-")
+	if !found {
+		return pt, fmt.Errorf("bad partition window %q (want from-until)", window)
+	}
+	from, err := strconv.ParseInt(fromStr, 10, 64)
+	if err != nil {
+		return pt, fmt.Errorf("bad partition start %q", fromStr)
+	}
+	until, err := strconv.ParseInt(untilStr, 10, 64)
+	if err != nil {
+		return pt, fmt.Errorf("bad partition heal time %q", untilStr)
+	}
+	pt.From, pt.Until = model.Time(from), model.Time(until)
+	return pt, nil
 }
 
 // abcastScript gives each process two messages to broadcast.

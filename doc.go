@@ -15,7 +15,10 @@
 //   - fd: oracle detectors P, S, ◇S, ◇P, Scribe, Marabout, P< and
 //     class-property checkers
 //   - sim: the FLP+FD step simulator (§2.3–2.4) with causal-chain
-//     analysis and adversarial scheduling
+//     analysis, adversarial scheduling and composable link faults
+//     (drops, delays, healing partitions)
+//   - harness: the parallel scenario-sweep engine (deterministic
+//     worker pool; parallel output byte-identical to sequential)
 //   - consensus, abcast, trb: the agreement algorithms
 //   - core: totality audit, the T(D⇒P) reduction, the Lemma 4.1
 //     adversary, TRB⇒P, the §6.3 collapse witness

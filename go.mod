@@ -1,0 +1,3 @@
+module realisticfd
+
+go 1.24

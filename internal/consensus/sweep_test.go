@@ -1,10 +1,12 @@
 package consensus
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"realisticfd/internal/fd"
+	"realisticfd/internal/harness"
 	"realisticfd/internal/model"
 	"realisticfd/internal/sim"
 )
@@ -12,15 +14,16 @@ import (
 // TestSFloodingRandomSweep is the safety-net property test: over many
 // random (pattern, seed) configurations, the full uniform
 // specification must hold. This is the E1/E3 substrate exercised far
-// beyond the curated scenarios.
+// beyond the curated scenarios. Each seed derives its own private RNG,
+// so the sweep fans out across the harness worker pool with results
+// identical to a sequential run.
 func TestSFloodingRandomSweep(t *testing.T) {
 	t.Parallel()
 	if testing.Short() {
 		t.Skip("random sweep")
 	}
-	rng := rand.New(rand.NewSource(2024))
-	const runs = 60
-	for i := 0; i < runs; i++ {
+	errs := harness.SeedMap(harness.Seeds(60), 0, func(seed int64) error {
+		rng := rand.New(rand.NewSource(2024 + seed))
 		n := 4 + rng.Intn(4) // 4..7
 		pat := model.MustPattern(n)
 		// Each process crashes with probability 1/3 at a time in
@@ -42,17 +45,67 @@ func TestSFloodingRandomSweep(t *testing.T) {
 			StopWhen: sim.CorrectDecided(0),
 		})
 		if err != nil {
-			t.Fatalf("run %d: %v", i, err)
+			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 		if tr.Stopped != sim.StopCondition {
-			t.Fatalf("run %d: did not terminate (n=%d pattern=%v)", i, n, pat)
+			return fmt.Errorf("seed %d: did not terminate (n=%d pattern=%v)", seed, n, pat)
 		}
 		o, err := ExtractOutcome(tr, 0)
 		if err != nil {
-			t.Fatalf("run %d: %v", i, err)
+			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 		if err := o.CheckUniformSpec(pat, props); err != nil {
-			t.Fatalf("run %d (n=%d, %v): %v", i, n, pat, err)
+			return fmt.Errorf("seed %d (n=%d, %v): %w", seed, n, pat, err)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSFloodingFaultyLinkSweep puts the uniform specification under a
+// delaying, partitioning — but eventually delivering — network: extra
+// latency up to 8 ticks plus a partition that heals at t=300. Loss-free
+// faults preserve condition (5) of §2.4, so the full spec (termination
+// included) must still hold in every run.
+func TestSFloodingFaultyLinkSweep(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("faulty sweep")
+	}
+	props := DistinctProposals(5)
+	sc := harness.Scenario{
+		Name: "sflooding-faulty", N: 5,
+		Automaton: SFlooding{Proposals: props},
+		Oracle:    fd.Perfect{Delay: 2}, Horizon: 30000,
+		Pattern: func() *model.FailurePattern {
+			return model.MustPattern(5).MustCrash(2, 70)
+		},
+		Policy: func() sim.Policy { return &sim.RandomFairPolicy{} },
+		Faults: &sim.LinkFaults{
+			MaxExtraDelay: 8,
+			Partitions: []sim.Partition{
+				{Side: model.NewProcessSet(1, 3), From: 20, Until: 300},
+			},
+		},
+		StopWhen: func() func(*sim.Trace) bool { return sim.CorrectDecided(0) },
+	}
+	for _, r := range harness.Sweep(sc, harness.Seeds(40), 0) {
+		if r.Err != nil {
+			t.Fatalf("seed %d: %v", r.Seed, r.Err)
+		}
+		if r.Trace.Stopped != sim.StopCondition {
+			t.Fatalf("seed %d: stalled despite loss-free faults", r.Seed)
+		}
+		o, err := ExtractOutcome(r.Trace, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", r.Seed, err)
+		}
+		if err := o.CheckUniformSpec(r.Trace.Pattern, props); err != nil {
+			t.Fatalf("seed %d: %v", r.Seed, err)
 		}
 	}
 }
@@ -65,9 +118,8 @@ func TestRotatingRandomSafetySweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("random sweep")
 	}
-	rng := rand.New(rand.NewSource(4242))
-	const runs = 50
-	for i := 0; i < runs; i++ {
+	errs := harness.SeedMap(harness.Seeds(50), 0, func(seed int64) error {
+		rng := rand.New(rand.NewSource(4242 + seed))
 		n := 4 + rng.Intn(3)
 		pat := model.MustPattern(n)
 		for p := 1; p <= n; p++ {
@@ -86,17 +138,70 @@ func TestRotatingRandomSafetySweep(t *testing.T) {
 			Policy: &sim.RandomFairPolicy{},
 		})
 		if err != nil {
-			t.Fatalf("run %d: %v", i, err)
+			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 		o, err := ExtractOutcome(tr, 0)
 		if err != nil {
-			t.Fatalf("run %d: %v", i, err)
+			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 		if err := o.CheckUniformAgreement(); err != nil {
-			t.Fatalf("run %d (n=%d, %v): %v", i, n, pat, err)
+			return fmt.Errorf("seed %d (n=%d, %v): %w", seed, n, pat, err)
 		}
 		if err := o.CheckValidity(props); err != nil {
-			t.Fatalf("run %d: %v", i, err)
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRotatingLossyLinkSafetySweep drops a quarter of all messages,
+// stretches the rest and cuts the network in half for a while — and
+// still requires uniform agreement and validity. A lossy link may
+// starve liveness (no retransmission below the algorithm) but must
+// never manufacture disagreement.
+func TestRotatingLossyLinkSafetySweep(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("lossy sweep")
+	}
+	props := DistinctProposals(5)
+	sc := harness.Scenario{
+		Name: "rotating-lossy", N: 5,
+		Automaton: Rotating{Proposals: props},
+		OracleFor: func(seed int64) fd.Oracle {
+			return fd.EventuallyStrong{GST: 80, Delay: 2, Seed: uint64(seed), FalseRate: 15}
+		},
+		Horizon: 5000,
+		Pattern: func() *model.FailurePattern {
+			return model.MustPattern(5).MustCrash(4, 120)
+		},
+		Policy: func() sim.Policy { return &sim.RandomFairPolicy{} },
+		Faults: &sim.LinkFaults{
+			DropPct:       25,
+			MaxExtraDelay: 10,
+			Partitions: []sim.Partition{
+				{Side: model.NewProcessSet(2, 5), From: 100, Until: 900},
+			},
+		},
+	}
+	for _, r := range harness.Sweep(sc, harness.Seeds(40), 0) {
+		if r.Err != nil {
+			t.Fatalf("seed %d: %v", r.Seed, r.Err)
+		}
+		o, err := ExtractOutcome(r.Trace, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", r.Seed, err)
+		}
+		if err := o.CheckUniformAgreement(); err != nil {
+			t.Fatalf("seed %d: agreement broke on a lossy link: %v", r.Seed, err)
+		}
+		if err := o.CheckValidity(props); err != nil {
+			t.Fatalf("seed %d: %v", r.Seed, err)
 		}
 	}
 }
@@ -107,25 +212,36 @@ func TestRotatingRandomSafetySweep(t *testing.T) {
 // proposal arriving before the participant reaches its round must be
 // buffered, not dropped — in the paper's model the message would have
 // waited in the buffer (§2.3). Both bugs stalled roughly one run in
-// ten thousand, so this sweep runs wide and cheap.
+// ten thousand, so this sweep runs wide and cheap — on the harness
+// worker pool since the scenario is fixed and only the seed moves.
 func TestRotatingLivenessSweep(t *testing.T) {
 	t.Parallel()
 	if testing.Short() {
 		t.Skip("wide sweep")
 	}
-	for seed := int64(0); seed < 4000; seed++ {
-		pat := model.MustPattern(5).MustCrash(2, 40)
-		tr, err := sim.Execute(sim.Config{
-			N: 5, Automaton: Rotating{Proposals: DistinctProposals(5)},
-			Oracle:  fd.EventuallyStrong{GST: 50, Delay: 2, Seed: 3, FalseRate: 10},
-			Pattern: pat, Horizon: 20000, Seed: seed,
-			Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
-		})
+	sc := harness.Scenario{
+		Name: "rotating-liveness", N: 5,
+		Automaton: Rotating{Proposals: DistinctProposals(5)},
+		Oracle:    fd.EventuallyStrong{GST: 50, Delay: 2, Seed: 3, FalseRate: 10},
+		Horizon:   20000,
+		Pattern: func() *model.FailurePattern {
+			return model.MustPattern(5).MustCrash(2, 40)
+		},
+		Policy:   func() sim.Policy { return &sim.RandomFairPolicy{} },
+		StopWhen: func() func(*sim.Trace) bool { return sim.CorrectDecided(0) },
+	}
+	stalls := harness.Map(sc, harness.Seeds(4000), 0, func(r harness.Result) error {
+		if r.Err != nil {
+			return fmt.Errorf("seed %d: %w", r.Seed, r.Err)
+		}
+		if r.Trace.Stopped != sim.StopCondition {
+			return fmt.Errorf("seed %d: rotating consensus stalled with majority alive", r.Seed)
+		}
+		return nil
+	})
+	for _, err := range stalls {
 		if err != nil {
 			t.Fatal(err)
-		}
-		if tr.Stopped != sim.StopCondition {
-			t.Fatalf("seed %d: rotating consensus stalled with majority alive", seed)
 		}
 	}
 }
@@ -137,9 +253,8 @@ func TestPartialOrderRandomSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("random sweep")
 	}
-	rng := rand.New(rand.NewSource(99))
-	const runs = 50
-	for i := 0; i < runs; i++ {
+	errs := harness.SeedMap(harness.Seeds(50), 0, func(seed int64) error {
+		rng := rand.New(rand.NewSource(99 + seed))
 		n := 4 + rng.Intn(4)
 		pat := model.MustPattern(n)
 		var crashed int
@@ -158,20 +273,26 @@ func TestPartialOrderRandomSweep(t *testing.T) {
 			StopWhen: sim.CorrectDecided(0),
 		})
 		if err != nil {
-			t.Fatalf("run %d: %v", i, err)
+			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 		o, err := ExtractOutcome(tr, 0)
 		if err != nil {
-			t.Fatalf("run %d: %v", i, err)
+			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 		if err := o.CheckTermination(pat); err != nil {
-			t.Fatalf("run %d (n=%d, %v): %v", i, n, pat, err)
+			return fmt.Errorf("seed %d (n=%d, %v): %w", seed, n, pat, err)
 		}
 		if err := o.CheckAgreementAmongCorrect(pat); err != nil {
-			t.Fatalf("run %d (n=%d, %v): %v", i, n, pat, err)
+			return fmt.Errorf("seed %d (n=%d, %v): %w", seed, n, pat, err)
 		}
 		if err := o.CheckValidity(props); err != nil {
-			t.Fatalf("run %d: %v", i, err)
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -9,8 +9,29 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync/atomic"
 )
+
+// workerCount holds the sweep parallelism override (0 = GOMAXPROCS).
+// It is atomic so tests can flip it while other tests read it; the
+// tables are byte-identical at any worker count, so the exact moment a
+// change lands never matters.
+var workerCount atomic.Int32
+
+// SetWorkers sets the worker-pool size used by every experiment sweep;
+// n ≤ 0 restores the default (GOMAXPROCS). cmd/experiments wires its
+// -parallel flag here.
+func SetWorkers(n int) { workerCount.Store(int32(n)) }
+
+// Workers returns the sweep worker-pool size currently in effect.
+func Workers() int {
+	if n := int(workerCount.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Table is one experiment's result.
 type Table struct {

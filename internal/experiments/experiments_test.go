@@ -41,6 +41,59 @@ func TestEveryExperimentConfirms(t *testing.T) {
 	}
 }
 
+// TestTablesByteIdenticalAcrossWorkers is the harness acceptance
+// gate: every E-table produced with parallelism > 1 must be
+// byte-identical to the sequential run. Results are slotted by seed
+// inside the sweeps, so worker count must be unobservable.
+func TestTablesByteIdenticalAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	// SetWorkers is atomic and the tables are worker-count-invariant
+	// (that is exactly what this test proves), so flipping it while
+	// sibling tests run is safe.
+	defer SetWorkers(0)
+	const seeds = 2
+	var seq, par bytes.Buffer
+	SetWorkers(1)
+	RunAll(&seq, seeds)
+	SetWorkers(6)
+	RunAll(&par, seeds)
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("parallel tables differ from sequential:\n--- workers=1 ---\n%s\n--- workers=6 ---\n%s",
+			seq.String(), par.String())
+	}
+}
+
+// TestFaultColumnsPresent pins the lossy-network scenarios into the
+// tables: E1 carries the delay+partition network rows, E8 the lossy
+// rotating-safety column, E9 the healed-outage columns.
+func TestFaultColumnsPresent(t *testing.T) {
+	t.Parallel()
+	e1 := E1Totality(1)
+	lossyRows := 0
+	for _, row := range e1.Rows {
+		if len(row) > 1 && row[1] == "delay+partition" {
+			lossyRows++
+		}
+	}
+	if lossyRows == 0 {
+		t.Error("E1 has no delay+partition rows")
+	}
+	e8 := E8MajorityCrossover(1)
+	if got := e8.Columns[len(e8.Columns)-1]; got != "lossy rot. safety" {
+		t.Errorf("E8 last column = %q, want lossy rot. safety", got)
+	}
+	e9 := E9QoS()
+	found := false
+	for _, c := range e9.Columns {
+		if strings.Contains(c, "outage") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("E9 columns %v lack an outage column", e9.Columns)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	t.Parallel()
 	tbl := &Table{

@@ -7,6 +7,7 @@ import (
 	"realisticfd/internal/consensus"
 	"realisticfd/internal/core"
 	"realisticfd/internal/fd"
+	"realisticfd/internal/harness"
 	"realisticfd/internal/heartbeat"
 	"realisticfd/internal/model"
 	"realisticfd/internal/qos"
@@ -16,7 +17,10 @@ import (
 
 const expN = 5
 
-// e1Patterns are the crash scenarios shared by several experiments.
+// crashPattern builds the crash scenario shared by several
+// experiments. Each run gets its own copy (the engine extends patterns
+// in place), so experiments hand the constructor itself to the sweep
+// harness.
 func crashPattern(crashes int) *model.FailurePattern {
 	pat := model.MustPattern(expN)
 	times := []model.Time{30, 90, 150, 210}
@@ -26,52 +30,107 @@ func crashPattern(crashes int) *model.FailurePattern {
 	return pat
 }
 
+// rfPolicy is the per-run policy factory used by most sweeps.
+func rfPolicy() sim.Policy { return &sim.RandomFairPolicy{} }
+
+// stopDecided is the per-run stop-predicate factory for instance 0.
+func stopDecided() func(*sim.Trace) bool { return sim.CorrectDecided(0) }
+
+// healingNet is the loss-free faulty-link plan used where liveness is
+// still asserted: bounded extra delay plus a partition that heals, so
+// every message is eventually delivered (condition (5) of §2.4 holds
+// within the horizon).
+func healingNet() *sim.LinkFaults {
+	return &sim.LinkFaults{
+		MaxExtraDelay: 6,
+		Partitions: []sim.Partition{
+			{Side: model.NewProcessSet(1, 2), From: 40, Until: 400},
+		},
+	}
+}
+
+// dropNet is the genuinely lossy plan used where only safety is
+// asserted: messages vanish forever with 15% probability.
+func dropNet() *sim.LinkFaults {
+	return &sim.LinkFaults{DropPct: 15, MaxExtraDelay: 4}
+}
+
 // E1Totality audits every decision of the S-based algorithm under
 // realistic accurate detectors for the §4.2 totality property
-// (Lemma 4.1).
+// (Lemma 4.1) — on a clean network and on a delaying, partitioning
+// (but eventually delivering) one: the lemma claims totality in every
+// run, so link faults must not open a loophole.
 func E1Totality(seeds int) *Table {
 	t := &Table{
 		ID:      "E1",
 		Title:   "Totality of realistic-detector consensus (Lemma 4.1)",
-		Claim:   "every consensus algorithm using a realistic failure detector is total",
-		Columns: []string{"detector", "crashes", "runs", "decisions", "non-total", "mean t(decide)"},
+		Claim:   "every consensus algorithm using a realistic failure detector is total, on clean and faulty links alike",
+		Columns: []string{"detector", "network", "crashes", "runs", "decisions", "non-total", "mean t(decide)"},
 	}
 	oracles := []fd.Oracle{
 		fd.Perfect{Delay: 2},
 		fd.Scribe{},
 		fd.RealisticStrong{BaseDelay: 1, Seed: 3, JitterMax: 4},
 	}
+	networks := []struct {
+		label  string
+		faults *sim.LinkFaults
+	}{
+		{"fair", nil},
+		{"delay+partition", healingNet()},
+	}
+	type runStat struct {
+		ok                    bool
+		decisions, violations int
+		sumT                  int64
+	}
 	allTotal := true
 	for _, o := range oracles {
-		for _, crashes := range []int{0, 1, 2, 4} {
-			decisions, violations := 0, 0
-			var sumT, runs int64
-			for seed := int64(0); seed < int64(seeds); seed++ {
-				pat := crashPattern(crashes)
-				tr, err := sim.Execute(sim.Config{
-					N: expN, Automaton: consensus.SFlooding{Proposals: consensus.DistinctProposals(expN)},
-					Oracle: o, Pattern: pat, Horizon: 20000, Seed: seed,
-					Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
+		for _, net := range networks {
+			for _, crashes := range []int{0, 1, 2, 4} {
+				crashes := crashes
+				sc := harness.Scenario{
+					Name: "E1", N: expN,
+					Automaton: consensus.SFlooding{Proposals: consensus.DistinctProposals(expN)},
+					Oracle:    o, Horizon: 20000,
+					Pattern:  func() *model.FailurePattern { return crashPattern(crashes) },
+					Policy:   rfPolicy,
+					Faults:   net.faults,
+					StopWhen: stopDecided,
+				}
+				stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) runStat {
+					if r.Err != nil {
+						return runStat{}
+					}
+					st := runStat{ok: true}
+					for _, d := range r.Trace.Decisions(0) {
+						st.decisions++
+						st.sumT += int64(d.T)
+					}
+					st.violations = len(core.TotalityReport(r.Trace, 0))
+					return st
 				})
-				if err != nil {
-					continue
+				decisions, violations := 0, 0
+				var sumT, runs int64
+				for _, st := range stats {
+					if !st.ok {
+						continue
+					}
+					runs++
+					decisions += st.decisions
+					sumT += st.sumT
+					violations += st.violations
 				}
-				runs++
-				for _, d := range tr.Decisions(0) {
-					decisions++
-					sumT += int64(d.T)
+				if violations > 0 {
+					allTotal = false
 				}
-				violations += len(core.TotalityReport(tr, 0))
+				meanT := int64(0)
+				if decisions > 0 {
+					meanT = sumT / int64(decisions)
+				}
+				t.AddRow(o.Name(), net.label, fmt.Sprint(crashes), fmt.Sprint(runs),
+					fmt.Sprint(decisions), fmt.Sprint(violations), fmt.Sprint(meanT))
 			}
-			if violations > 0 {
-				allTotal = false
-			}
-			meanT := int64(0)
-			if decisions > 0 {
-				meanT = sumT / int64(decisions)
-			}
-			t.AddRow(o.Name(), fmt.Sprint(crashes), fmt.Sprint(runs),
-				fmt.Sprint(decisions), fmt.Sprint(violations), fmt.Sprint(meanT))
 		}
 	}
 	t.Verdict = fmt.Sprintf("all decisions total: %s (paper: total, by Lemma 4.1)", mark(allTotal))
@@ -88,19 +147,27 @@ func E2Adversary(seeds int) *Table {
 		Claim:   "a decision that skips a live process can be extended to violate agreement; with an accurate detector the attack must fail",
 		Columns: []string{"seed", "mode", "prefix identical", "missing from chain", "decisions", "disagree"},
 	}
-	ok := true
-	for seed := int64(0); seed < int64(seeds); seed++ {
+	type row struct {
+		cells []string
+		ok    bool
+	}
+	rows := harness.SeedMap(harness.Seeds(seeds), Workers(), func(seed int64) row {
 		w, err := core.BuildDisagreement(core.AdversaryConfig{Seed: seed})
 		if err != nil {
-			t.AddRow(fmt.Sprint(seed), "noisy ◇S", "-", "-", "-", "error: "+err.Error())
-			ok = false
-			continue
+			return row{cells: []string{fmt.Sprint(seed), "noisy ◇S", "-", "-", "-", "error: " + err.Error()}}
 		}
-		t.AddRow(fmt.Sprint(seed), "noisy ◇S", mark(w.PrefixIdentical),
-			w.NonTotal.Missing.String(),
-			fmt.Sprintf("%v:%v vs %v:%v", w.FirstDecision.P, w.FirstDecision.Value, w.VictimDecision.P, w.VictimDecision.Value),
-			mark(w.Disagree()))
-		if !w.Disagree() || !w.PrefixIdentical {
+		return row{
+			cells: []string{fmt.Sprint(seed), "noisy ◇S", mark(w.PrefixIdentical),
+				w.NonTotal.Missing.String(),
+				fmt.Sprintf("%v:%v vs %v:%v", w.FirstDecision.P, w.FirstDecision.Value, w.VictimDecision.P, w.VictimDecision.Value),
+				mark(w.Disagree())},
+			ok: w.Disagree() && w.PrefixIdentical,
+		}
+	})
+	ok := true
+	for _, r := range rows {
+		t.AddRow(r.cells...)
+		if !r.ok {
 			ok = false
 		}
 	}
@@ -124,43 +191,49 @@ func E3Reduction(seeds int) *Table {
 		Columns: []string{"crashes", "runs", "accurate", "complete", "mean emulation lag (ticks)"},
 	}
 	const maxInst = 40
+	type runStat struct {
+		ok, accurate, complete bool
+		lagSum, lagCnt         int64
+	}
 	ok := true
 	for _, crashes := range []int{0, 1, 2, 4} {
-		accurate, complete, runs := true, true, 0
-		var lagSum, lagCnt int64
-		for seed := int64(0); seed < int64(seeds); seed++ {
-			pat := crashPattern(crashes)
-			tr, err := sim.Execute(sim.Config{
-				N: expN,
-				Automaton: core.Reduction{
-					Factory: func(int) sim.Automaton {
-						return consensus.SFlooding{Proposals: consensus.DistinctProposals(expN)}
-					},
-					MaxInstances: maxInst,
+		crashes := crashes
+		sc := harness.Scenario{
+			Name: "E3", N: expN,
+			Automaton: core.Reduction{
+				Factory: func(int) sim.Automaton {
+					return consensus.SFlooding{Proposals: consensus.DistinctProposals(expN)}
 				},
-				Oracle: fd.Perfect{Delay: 2}, Pattern: pat, Horizon: 120000, Seed: seed,
-				Policy: &sim.RandomFairPolicy{},
-				StopWhen: func(tr *sim.Trace) bool {
+				MaxInstances: maxInst,
+			},
+			Oracle: fd.Perfect{Delay: 2}, Horizon: 120000,
+			Pattern: func() *model.FailurePattern { return crashPattern(crashes) },
+			Policy:  rfPolicy,
+			StopWhen: func() func(*sim.Trace) bool {
+				return func(tr *sim.Trace) bool {
 					last := model.EmptySet()
 					for _, d := range tr.Decisions(maxInst - 1) {
 						last = last.Add(d.P)
 					}
 					return tr.Pattern.Correct().SubsetOf(last)
-				},
-			})
-			if err != nil {
-				continue
+				}
+			},
+		}
+		stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) runStat {
+			if r.Err != nil {
+				return runStat{}
 			}
-			runs++
-			h, err := core.ExtractEmulatedHistory(tr)
+			st := runStat{ok: true, accurate: true, complete: true}
+			pat := r.Trace.Pattern
+			h, err := core.ExtractEmulatedHistory(r.Trace)
 			if err != nil {
-				continue
+				return st
 			}
 			if fd.CheckStrongAccuracy(h, pat) != nil {
-				accurate = false
+				st.accurate = false
 			}
 			if fd.CheckStrongCompleteness(h, pat) != nil {
-				complete = false
+				st.complete = false
 			}
 			// Emulation lag: crash → first correct process suspecting
 			// it in output(P).
@@ -175,10 +248,23 @@ func E3Reduction(seeds int) *Table {
 					}
 				}
 				if best >= 0 {
-					lagSum += best - int64(ct)
-					lagCnt++
+					st.lagSum += best - int64(ct)
+					st.lagCnt++
 				}
 			}
+			return st
+		})
+		accurate, complete, runs := true, true, 0
+		var lagSum, lagCnt int64
+		for _, st := range stats {
+			if !st.ok {
+				continue
+			}
+			runs++
+			accurate = accurate && st.accurate
+			complete = complete && st.complete
+			lagSum += st.lagSum
+			lagCnt += st.lagCnt
 		}
 		if !accurate || !complete {
 			ok = false
@@ -202,35 +288,54 @@ func E4TRB(seeds int) *Table {
 		Columns: []string{"crashes", "runs", "TRB spec", "TRB⇒P accurate", "TRB⇒P complete"},
 	}
 	const waves = 4
+	type runStat struct {
+		ok, spec, acc, comp bool
+	}
 	ok := true
 	for _, crashes := range []int{0, 1, 2, 4} {
-		specOK, accOK, compOK, runs := true, true, true, 0
-		for seed := int64(0); seed < int64(seeds); seed++ {
-			pat := model.MustPattern(expN)
-			times := []model.Time{1, 60, 120, 180}
-			for i := 0; i < crashes; i++ {
-				pat.MustCrash(model.ProcessID(i+1), times[i])
+		crashes := crashes
+		sc := harness.Scenario{
+			Name: "E4", N: expN,
+			Automaton: trb.Broadcast{Waves: waves},
+			Oracle:    fd.Perfect{Delay: 2}, Horizon: 200000,
+			Pattern: func() *model.FailurePattern {
+				pat := model.MustPattern(expN)
+				times := []model.Time{1, 60, 120, 180}
+				for i := 0; i < crashes; i++ {
+					pat.MustCrash(model.ProcessID(i+1), times[i])
+				}
+				return pat
+			},
+			Policy:   rfPolicy,
+			StopWhen: func() func(*sim.Trace) bool { return trbAllDelivered(waves) },
+		}
+		stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) runStat {
+			if r.Err != nil {
+				return runStat{}
 			}
-			tr, err := sim.Execute(sim.Config{
-				N: expN, Automaton: trb.Broadcast{Waves: waves},
-				Oracle: fd.Perfect{Delay: 2}, Pattern: pat, Horizon: 200000, Seed: seed,
-				Policy:   &sim.RandomFairPolicy{},
-				StopWhen: trbAllDelivered(waves),
-			})
-			if err != nil {
+			st := runStat{ok: true, spec: true, acc: true, comp: true}
+			pat := r.Trace.Pattern
+			if trb.CheckAll(r.Trace, waves, nil) != nil {
+				st.spec = false
+			}
+			h := core.EmulatePerfectFromTRB(r.Trace)
+			if fd.CheckStrongAccuracy(h, pat) != nil {
+				st.acc = false
+			}
+			if crashes > 0 && fd.CheckStrongCompleteness(h, pat) != nil {
+				st.comp = false
+			}
+			return st
+		})
+		specOK, accOK, compOK, runs := true, true, true, 0
+		for _, st := range stats {
+			if !st.ok {
 				continue
 			}
 			runs++
-			if trb.CheckAll(tr, waves, nil) != nil {
-				specOK = false
-			}
-			h := core.EmulatePerfectFromTRB(tr)
-			if fd.CheckStrongAccuracy(h, pat) != nil {
-				accOK = false
-			}
-			if crashes > 0 && fd.CheckStrongCompleteness(h, pat) != nil {
-				compOK = false
-			}
+			specOK = specOK && st.spec
+			accOK = accOK && st.acc
+			compOK = compOK && st.comp
 		}
 		if !specOK || !accOK || !compOK {
 			ok = false
@@ -269,31 +374,46 @@ func E5Marabout(seeds int) *Table {
 	}
 	ok := true
 	for _, crashes := range []int{0, 1, 4} {
-		solved, runs := true, 0
+		crashes := crashes
 		leader := model.ProcessID(crashes + 1) // lowest correct
-		for seed := int64(0); seed < int64(seeds); seed++ {
-			pat := model.MustPattern(expN)
-			for i := 0; i < crashes; i++ {
-				pat.MustCrash(model.ProcessID(i+1), model.Time(30+5*i))
+		props := consensus.DistinctProposals(expN)
+		sc := harness.Scenario{
+			Name: "E5", N: expN,
+			Automaton: consensus.MaraboutConsensus{Proposals: props},
+			Oracle:    fd.Marabout{}, Horizon: 20000,
+			Pattern: func() *model.FailurePattern {
+				pat := model.MustPattern(expN)
+				for i := 0; i < crashes; i++ {
+					pat.MustCrash(model.ProcessID(i+1), model.Time(30+5*i))
+				}
+				return pat
+			},
+			Policy:   rfPolicy,
+			StopWhen: stopDecided,
+		}
+		type runStat struct{ ok, solved bool }
+		stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) runStat {
+			if r.Err != nil {
+				return runStat{}
 			}
-			props := consensus.DistinctProposals(expN)
-			tr, err := sim.Execute(sim.Config{
-				N: expN, Automaton: consensus.MaraboutConsensus{Proposals: props},
-				Oracle: fd.Marabout{}, Pattern: pat, Horizon: 20000, Seed: seed,
-				Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
-			})
-			if err != nil {
+			st := runStat{ok: true, solved: true}
+			o, err := consensus.ExtractOutcome(r.Trace, 0)
+			if err != nil || o.CheckUniformSpec(r.Trace.Pattern, props) != nil {
+				st.solved = false
+				return st
+			}
+			if v, _ := o.DecidedValue(); v != props[leader] {
+				st.solved = false
+			}
+			return st
+		})
+		solved, runs := true, 0
+		for _, st := range stats {
+			if !st.ok {
 				continue
 			}
 			runs++
-			o, err := consensus.ExtractOutcome(tr, 0)
-			if err != nil || o.CheckUniformSpec(pat, props) != nil {
-				solved = false
-				continue
-			}
-			if v, _ := o.DecidedValue(); v != props[leader] {
-				solved = false
-			}
+			solved = solved && st.solved
 		}
 		if !solved {
 			ok = false
@@ -316,26 +436,37 @@ func E6PartialPerfect(seeds int) *Table {
 		Claim:   "uniform consensus is strictly harder than consensus",
 		Columns: []string{"scenario", "runs", "correct-restricted", "uniform"},
 	}
+	props := consensus.DistinctProposals(expN)
+
 	// Benign sweep: correct-restricted agreement must always hold.
 	benignOK, runs := true, 0
-	for seed := int64(0); seed < int64(seeds); seed++ {
-		for _, crashes := range []int{0, 1, 2, 4} {
-			pat := crashPattern(crashes)
-			props := consensus.DistinctProposals(expN)
-			tr, err := sim.Execute(sim.Config{
-				N: expN, Automaton: consensus.PartialOrder{Proposals: props},
-				Oracle: fd.PartiallyPerfect{Delay: 2}, Pattern: pat, Horizon: 20000, Seed: seed,
-				Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
-			})
-			if err != nil {
+	for _, crashes := range []int{0, 1, 2, 4} {
+		crashes := crashes
+		sc := harness.Scenario{
+			Name: "E6-benign", N: expN,
+			Automaton: consensus.PartialOrder{Proposals: props},
+			Oracle:    fd.PartiallyPerfect{Delay: 2}, Horizon: 20000,
+			Pattern:  func() *model.FailurePattern { return crashPattern(crashes) },
+			Policy:   rfPolicy,
+			StopWhen: stopDecided,
+		}
+		type runStat struct{ ok, good bool }
+		stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) runStat {
+			if r.Err != nil {
+				return runStat{}
+			}
+			pat := r.Trace.Pattern
+			o, err := consensus.ExtractOutcome(r.Trace, 0)
+			good := err == nil && o.CheckTermination(pat) == nil &&
+				o.CheckAgreementAmongCorrect(pat) == nil && o.CheckValidity(props) == nil
+			return runStat{ok: true, good: good}
+		})
+		for _, st := range stats {
+			if !st.ok {
 				continue
 			}
 			runs++
-			o, err := consensus.ExtractOutcome(tr, 0)
-			if err != nil || o.CheckTermination(pat) != nil ||
-				o.CheckAgreementAmongCorrect(pat) != nil || o.CheckValidity(props) != nil {
-				benignOK = false
-			}
+			benignOK = benignOK && st.good
 		}
 	}
 	t.AddRow("random crashes", fmt.Sprint(runs), mark(benignOK), "(not claimed)")
@@ -343,16 +474,17 @@ func E6PartialPerfect(seeds int) *Table {
 	// Adversarial run: p1 decides, its messages are withheld, it
 	// crashes — uniform agreement must break while correct-restricted
 	// holds.
-	violations, adOK := 0, true
-	for seed := int64(0); seed < int64(seeds); seed++ {
-		pat := model.MustPattern(expN)
-		props := consensus.DistinctProposals(expN)
-		crashed := false
-		tr, err := sim.Execute(sim.Config{
-			N: expN, Automaton: consensus.PartialOrder{Proposals: props},
-			Oracle: fd.PartiallyPerfect{Delay: 2}, Pattern: pat, Horizon: 20000, Seed: seed,
-			Policy: &sim.DelayPolicy{Target: model.NewProcessSet(1), Until: 20001},
-			AfterStep: func(r *sim.Run, ev *sim.EventRecord) {
+	sc := harness.Scenario{
+		Name: "E6-adversarial", N: expN,
+		Automaton: consensus.PartialOrder{Proposals: props},
+		Oracle:    fd.PartiallyPerfect{Delay: 2}, Horizon: 20000,
+		Pattern:   func() *model.FailurePattern { return model.MustPattern(expN) },
+		Policy: func() sim.Policy {
+			return &sim.DelayPolicy{Target: model.NewProcessSet(1), Until: 20001}
+		},
+		AfterStep: func() func(*sim.Run, *sim.EventRecord) {
+			crashed := false // per-run adversary state
+			return func(r *sim.Run, ev *sim.EventRecord) {
 				if crashed || ev.P != 1 {
 					return
 				}
@@ -362,22 +494,31 @@ func E6PartialPerfect(seeds int) *Table {
 						_ = r.Crash(1)
 					}
 				}
-			},
-			StopWhen: sim.CorrectDecided(0),
-		})
-		if err != nil || !crashed {
-			adOK = false
-			continue
+			}
+		},
+		StopWhen: stopDecided,
+	}
+	type advStat struct{ adOK, violated bool }
+	stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) advStat {
+		if r.Err != nil {
+			return advStat{}
 		}
-		o, err := consensus.ExtractOutcome(tr, 0)
+		if _, crashed := r.Trace.Pattern.CrashTime(1); !crashed {
+			return advStat{}
+		}
+		o, err := consensus.ExtractOutcome(r.Trace, 0)
 		if err != nil {
-			adOK = false
-			continue
+			return advStat{}
 		}
-		if o.CheckAgreementAmongCorrect(pat) != nil {
-			adOK = false
+		return advStat{
+			adOK:     o.CheckAgreementAmongCorrect(r.Trace.Pattern) == nil,
+			violated: o.CheckUniformAgreement() != nil,
 		}
-		if o.CheckUniformAgreement() != nil {
+	})
+	violations, adOK := 0, true
+	for _, st := range stats {
+		adOK = adOK && st.adOK
+		if st.violated {
 			violations++
 		}
 	}
@@ -410,11 +551,14 @@ func E7Collapse(seeds int) *Table {
 	}
 	// A noisy realistic detector (claiming S at best) gets caught: the
 	// continuation where everyone else crashes breaks weak accuracy.
-	found := 0
-	for seed := uint64(0); seed < uint64(seeds); seed++ {
-		o := fd.EventuallyStrong{GST: 60, Delay: 1, Seed: seed, FalseRate: 25}
+	caught := harness.SeedMap(harness.Seeds(seeds), Workers(), func(seed int64) bool {
+		o := fd.EventuallyStrong{GST: 60, Delay: 1, Seed: uint64(seed), FalseRate: 25}
 		w, err := core.BuildCollapseWitness(o, model.MustPattern(expN), 300)
-		if err == nil && w != nil && w.WeakAccuracyInFPrime != nil {
+		return err == nil && w != nil && w.WeakAccuracyInFPrime != nil
+	})
+	found := 0
+	for _, c := range caught {
+		if c {
 			found++
 		}
 	}
@@ -435,50 +579,89 @@ func E7Collapse(seeds int) *Table {
 }
 
 // E8MajorityCrossover contrasts the S-based (any f) and ◇S-based
-// (majority) algorithms as f grows.
+// (majority) algorithms as f grows, and hammers the ◇S algorithm's
+// safety on a genuinely lossy link (15% drops): liveness may go,
+// agreement may not.
 func E8MajorityCrossover(seeds int) *Table {
 	t := &Table{
 		ID:      "E8",
 		Title:   "Majority crossover: S-flooding vs ◇S rotating coordinator (§1.2)",
-		Claim:   "◇S consensus needs a majority of correct processes; S/P do not",
-		Columns: []string{"f (of 5)", "S-flooding+P", "rotating+◇S", "rotating safety"},
+		Claim:   "◇S consensus needs a majority of correct processes; S/P do not — and dropping 15% of messages never breaks safety",
+		Columns: []string{"f (of 5)", "S-flooding+P", "rotating+◇S", "rotating safety", "lossy rot. safety"},
 	}
 	ok := true
 	for f := 0; f <= 4; f++ {
-		sOK, rotLive, rotSafe := true, true, true
-		for seed := int64(0); seed < int64(seeds); seed++ {
+		f := f
+		pattern := func() *model.FailurePattern {
 			pat := model.MustPattern(expN)
 			for i := 0; i < f; i++ {
 				pat.MustCrash(model.ProcessID(i+1), model.Time(5+3*i))
 			}
-			props := consensus.DistinctProposals(expN)
+			return pat
+		}
+		props := consensus.DistinctProposals(expN)
 
-			trS, err := sim.Execute(sim.Config{
-				N: expN, Automaton: consensus.SFlooding{Proposals: props},
-				Oracle: fd.Perfect{Delay: 2}, Pattern: pat.Clone(), Horizon: 20000, Seed: seed,
-				Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
-			})
-			if err != nil || trS.Stopped != sim.StopCondition {
-				sOK = false
-			} else if o, err := consensus.ExtractOutcome(trS, 0); err != nil || o.CheckUniformSpec(pat, props) != nil {
-				sOK = false
+		scS := harness.Scenario{
+			Name: "E8-sflooding", N: expN,
+			Automaton: consensus.SFlooding{Proposals: props},
+			Oracle:    fd.Perfect{Delay: 2}, Horizon: 20000,
+			Pattern: pattern, Policy: rfPolicy, StopWhen: stopDecided,
+		}
+		sOK := true
+		for _, good := range harness.Map(scS, harness.Seeds(seeds), Workers(), func(r harness.Result) bool {
+			if r.Err != nil || r.Trace.Stopped != sim.StopCondition {
+				return false
 			}
+			o, err := consensus.ExtractOutcome(r.Trace, 0)
+			return err == nil && o.CheckUniformSpec(r.Trace.Pattern, props) == nil
+		}) {
+			sOK = sOK && good
+		}
 
-			trR, err := sim.Execute(sim.Config{
-				N: expN, Automaton: consensus.Rotating{Proposals: props},
-				Oracle:  fd.EventuallyStrong{GST: 100, Delay: 3, Seed: uint64(seed), FalseRate: 10},
-				Pattern: pat.Clone(), Horizon: 20000, Seed: seed,
-				Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
-			})
-			if err != nil || trR.Stopped != sim.StopCondition {
-				rotLive = false
-			}
-			if err == nil {
-				if o, err2 := consensus.ExtractOutcome(trR, 0); err2 != nil || o.CheckUniformAgreement() != nil {
-					rotSafe = false
+		scR := harness.Scenario{
+			Name: "E8-rotating", N: expN,
+			Automaton: consensus.Rotating{Proposals: props},
+			OracleFor: func(seed int64) fd.Oracle {
+				return fd.EventuallyStrong{GST: 100, Delay: 3, Seed: uint64(seed), FalseRate: 10}
+			},
+			Horizon: 20000,
+			Pattern: pattern, Policy: rfPolicy, StopWhen: stopDecided,
+		}
+		type rotStat struct{ live, safe bool }
+		rotLive, rotSafe := true, true
+		for _, st := range harness.Map(scR, harness.Seeds(seeds), Workers(), func(r harness.Result) rotStat {
+			st := rotStat{safe: true}
+			st.live = r.Err == nil && r.Trace.Stopped == sim.StopCondition
+			if r.Err == nil {
+				if o, err := consensus.ExtractOutcome(r.Trace, 0); err != nil || o.CheckUniformAgreement() != nil {
+					st.safe = false
 				}
 			}
+			return st
+		}) {
+			rotLive = rotLive && st.live
+			rotSafe = rotSafe && st.safe
 		}
+
+		// Same rotating algorithm on a dropping link: no liveness claim
+		// survives a lossy channel without retransmission, but uniform
+		// agreement and validity must.
+		scL := scR
+		scL.Name = "E8-rotating-lossy"
+		scL.Faults = dropNet()
+		scL.StopWhen = nil
+		scL.Horizon = 6000
+		lossySafe := true
+		for _, good := range harness.Map(scL, harness.Seeds(seeds), Workers(), func(r harness.Result) bool {
+			if r.Err != nil {
+				return false
+			}
+			o, err := consensus.ExtractOutcome(r.Trace, 0)
+			return err == nil && o.CheckUniformAgreement() == nil && o.CheckValidity(props) == nil
+		}) {
+			lossySafe = lossySafe && good
+		}
+
 		needMajority := f >= (expN+1)/2
 		wantLive := !needMajority
 		row := "decides"
@@ -489,23 +672,25 @@ func E8MajorityCrossover(seeds int) *Table {
 		if !sOK {
 			sCell = "FAILS"
 		}
-		t.AddRow(fmt.Sprint(f), sCell, row, mark(rotSafe))
-		if !sOK || rotLive != wantLive || !rotSafe {
+		t.AddRow(fmt.Sprint(f), sCell, row, mark(rotSafe), mark(lossySafe))
+		if !sOK || rotLive != wantLive || !rotSafe || !lossySafe {
 			ok = false
 		}
 	}
-	t.Verdict = fmt.Sprintf("crossover at f = ⌈n/2⌉ = 3 with safety intact: %s", mark(ok))
+	t.Verdict = fmt.Sprintf("crossover at f = ⌈n/2⌉ = 3 with safety intact, drops included: %s", mark(ok))
 	return t
 }
 
 // E9QoS sweeps the live heartbeat estimators over a jittery lossy
-// link — the engineering face of the accuracy/completeness trade-off.
+// link — the engineering face of the accuracy/completeness trade-off —
+// and over a 1 s link outage that heals: every estimator must restore
+// trust after the partition.
 func E9QoS() *Table {
 	t := &Table{
 		ID:      "E9",
 		Title:   "QoS of live heartbeat detectors (Chen-Toueg-Aguilera metrics; §1.3)",
-		Claim:   "emulating P live trades detection time against false suspicions; membership makes the chosen suspicions accurate by exclusion",
-		Columns: []string{"estimator", "T_D (crash)", "mistakes (steady)", "λ_M (/s)", "T_M", "P_A"},
+		Claim:   "emulating P live trades detection time against false suspicions; a healed outage must restore trust",
+		Columns: []string{"estimator", "T_D (crash)", "mistakes (steady)", "λ_M (/s)", "T_M", "P_A", "mistakes (outage)", "heals"},
 	}
 	base := qos.ArrivalModel{
 		Interval:     20 * time.Millisecond,
@@ -531,11 +716,14 @@ func E9QoS() *Table {
 		{Label: "φ Φ=12", Make: func() heartbeat.Estimator {
 			return &heartbeat.PhiAccrual{Window: 128, Threshold: 12, MinStdDev: 2 * time.Millisecond}
 		}},
-	})
-	allDetected := true
+	}, Workers())
+	allDetected, allHeal := true, true
 	for _, pt := range points {
 		if !pt.Crash.Detected {
 			allDetected = false
+		}
+		if !pt.OutageRecovered {
+			allHeal = false
 		}
 		t.AddRow(pt.Estimator,
 			pt.Crash.DetectionTime.Round(time.Millisecond).String(),
@@ -543,8 +731,11 @@ func E9QoS() *Table {
 			fmt.Sprintf("%.3f", pt.Steady.MistakeRate),
 			pt.Steady.AvgMistakeDuration.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.4f", pt.Steady.QueryAccuracy),
+			fmt.Sprint(pt.Outage.Mistakes),
+			mark(pt.OutageRecovered),
 		)
 	}
-	t.Verdict = fmt.Sprintf("every configuration detects the crash (%s); tighter ⇒ faster T_D and more mistakes — the realistic frontier", mark(allDetected))
+	t.Verdict = fmt.Sprintf("every configuration detects the crash (%s) and trusts again after the healed outage (%s); tighter ⇒ faster T_D and more mistakes — the realistic frontier",
+		mark(allDetected), mark(allHeal))
 	return t
 }

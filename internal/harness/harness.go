@@ -1,0 +1,217 @@
+// Package harness is the parallel scenario-sweep engine behind the
+// experiment tables and the wide property sweeps: a Scenario describes
+// a family of runs that differ only by seed, and Sweep fans the seeded
+// sim.Execute calls across a worker pool sized to GOMAXPROCS.
+//
+// Determinism is the contract (DESIGN.md §5): every run builds its own
+// pattern, policy and hooks from the scenario's factories, each run is
+// a pure function of its seed, and results come back ordered by seed —
+// so a sweep at parallelism 32 is byte-identical to the same sweep at
+// parallelism 1. The experiments lean on that to keep E-tables
+// reproducible while saturating the machine, and the race detector
+// (go test -race ./internal/harness) keeps the isolation honest.
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+// Scenario is a family of simulator runs differing only by seed: the
+// system, the detector, the automaton, the fault plan and per-run
+// factories for the stateful pieces.
+//
+// Factories, not values: a sim.Policy is stateful per run, the engine
+// extends failure patterns in place, and AfterStep hooks usually close
+// over per-run state. Sharing any of those across concurrently
+// executing runs would be both a data race and a determinism bug, so
+// the scenario constructs fresh ones for every seed. The shared fields
+// (Automaton, Oracle, Faults) are safe by the package contracts:
+// automata spawn per-process state, oracles are pure, and the fault
+// plan is copied into a fresh FaultyPolicy per run.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// N is the system size |Ω|.
+	N int
+	// Automaton is the algorithm under test (shared; Spawn is per-run).
+	Automaton sim.Automaton
+	// Oracle is the failure detector (shared; pure by contract).
+	Oracle fd.Oracle
+	// OracleFor, when non-nil, supplies a per-seed oracle instead of
+	// Oracle — for noisy detectors whose noise stream is keyed on the
+	// sweep seed (the ◇S experiments). Must be safe for concurrent use.
+	OracleFor func(seed int64) fd.Oracle
+	// Horizon bounds each run.
+	Horizon model.Time
+	// Pattern returns a fresh failure pattern for one run; nil means
+	// failure-free. Never return a shared *FailurePattern: the engine
+	// mutates it.
+	Pattern func() *model.FailurePattern
+	// Policy returns a fresh scheduling policy for one run; nil means
+	// FairPolicy.
+	Policy func() sim.Policy
+	// Faults, when non-nil and active, wraps the policy in a
+	// sim.FaultyPolicy seeded from the run's RNG: the same seed replays
+	// the same losses, delays and partitions.
+	Faults *sim.LinkFaults
+	// StopWhen returns a fresh stop predicate for one run; nil means
+	// run to the horizon.
+	StopWhen func() func(*sim.Trace) bool
+	// AfterStep returns a fresh per-step hook for one run; nil means
+	// none. Adversarial scenarios close over per-run state here.
+	AfterStep func() func(*sim.Run, *sim.EventRecord)
+}
+
+// Config assembles the sim.Config of the scenario's run at the given
+// seed, instantiating every per-run factory.
+func (sc Scenario) Config(seed int64) sim.Config {
+	cfg := sim.Config{
+		N:         sc.N,
+		Automaton: sc.Automaton,
+		Oracle:    sc.Oracle,
+		Horizon:   sc.Horizon,
+		Seed:      seed,
+	}
+	if sc.OracleFor != nil {
+		cfg.Oracle = sc.OracleFor(seed)
+	}
+	if sc.Pattern != nil {
+		cfg.Pattern = sc.Pattern()
+	}
+	var pol sim.Policy
+	if sc.Policy != nil {
+		pol = sc.Policy()
+	}
+	if sc.Faults != nil && sc.Faults.Active() {
+		pol = &sim.FaultyPolicy{Inner: pol, Faults: *sc.Faults}
+	}
+	cfg.Policy = pol
+	if sc.StopWhen != nil {
+		cfg.StopWhen = sc.StopWhen()
+	}
+	if sc.AfterStep != nil {
+		cfg.AfterStep = sc.AfterStep()
+	}
+	return cfg
+}
+
+// Run executes the scenario's run at one seed.
+func (sc Scenario) Run(seed int64) Result {
+	tr, err := sim.Execute(sc.Config(seed))
+	return Result{Seed: seed, Trace: tr, Err: err}
+}
+
+// Result is the outcome of one seeded run.
+type Result struct {
+	Seed  int64
+	Trace *sim.Trace
+	Err   error
+}
+
+// SeedRange is the half-open seed interval [From, To) of a sweep.
+type SeedRange struct {
+	From, To int64
+}
+
+// Seeds is the range {0, 1, ..., n-1}.
+func Seeds(n int) SeedRange { return SeedRange{From: 0, To: int64(n)} }
+
+// Count returns the number of seeds in the range.
+func (sr SeedRange) Count() int {
+	if sr.To <= sr.From {
+		return 0
+	}
+	return int(sr.To - sr.From)
+}
+
+// Sweep runs the scenario at every seed in the range across a worker
+// pool and returns the results ordered by seed. workers ≤ 0 means
+// GOMAXPROCS. Beware of memory: every trace is retained; prefer Map
+// when only a per-run summary is needed.
+func Sweep(sc Scenario, seeds SeedRange, workers int) []Result {
+	return Map(sc, seeds, workers, func(r Result) Result { return r })
+}
+
+// Map runs the scenario at every seed and applies analyze to each
+// result inside the worker (so traces can be released as soon as they
+// are summarized), returning the analyses ordered by seed. The
+// analyze function must be safe for concurrent use; it receives runs
+// in arbitrary order but its return values are slotted by seed, so the
+// output — and anything folded over it — is independent of workers.
+func Map[T any](sc Scenario, seeds SeedRange, workers int, analyze func(Result) T) []T {
+	return SeedMap(seeds, workers, func(seed int64) T {
+		return analyze(sc.Run(seed))
+	})
+}
+
+// SeedMap is the generic seeded fan-out: job runs once per seed on the
+// worker pool and the return values come back ordered by seed. It is
+// the substrate for sweeps whose runs are not plain sim.Execute calls
+// (the Lemma 4.1 adversary, the §6.3 collapse witness, ...). job must
+// be safe for concurrent use and deterministic in its seed.
+func SeedMap[T any](seeds SeedRange, workers int, job func(seed int64) T) []T {
+	count := seeds.Count()
+	if count == 0 {
+		return nil
+	}
+	out := make([]T, count)
+	parDo(count, workers, func(i int) {
+		out[i] = job(seeds.From + int64(i))
+	})
+	return out
+}
+
+// ParMap applies fn to every item on the worker pool, returning the
+// results in input order. It is the non-seeded face of the harness,
+// used e.g. by the QoS sweep to replay estimator configurations in
+// parallel. fn must be safe for concurrent use.
+func ParMap[T, R any](items []T, workers int, fn func(int, T) R) []R {
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]R, len(items))
+	parDo(len(items), workers, func(i int) {
+		out[i] = fn(i, items[i])
+	})
+	return out
+}
+
+// parDo runs job(0..count-1) on min(workers, count) goroutines pulling
+// indices from a shared counter. Slot i of any output belongs to index
+// i alone, which is what makes the parallel results deterministic.
+func parDo(count, workers int, job func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+// testScenario is a consensus scenario with crashes, a randomized
+// policy and (optionally) link faults — enough moving parts that any
+// cross-run state sharing would show up as a digest mismatch or a data
+// race.
+func testScenario(faults *sim.LinkFaults) Scenario {
+	return Scenario{
+		Name:      "sflooding",
+		N:         5,
+		Automaton: consensus.SFlooding{Proposals: consensus.DistinctProposals(5)},
+		Oracle:    fd.Perfect{Delay: 2},
+		Horizon:   20000,
+		Pattern: func() *model.FailurePattern {
+			return model.MustPattern(5).MustCrash(2, 40)
+		},
+		Policy:   func() sim.Policy { return &sim.RandomFairPolicy{} },
+		Faults:   faults,
+		StopWhen: func() func(*sim.Trace) bool { return sim.CorrectDecided(0) },
+	}
+}
+
+func digests(t *testing.T, results []Result) []string {
+	t.Helper()
+	out := make([]string, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("seed %d: %v", r.Seed, r.Err)
+		}
+		out[i] = r.Trace.Digest()
+	}
+	return out
+}
+
+// TestSweepParallelEqualsSequential is the harness's core guarantee:
+// the same sweep at parallelism 1 and at high parallelism produces
+// byte-identical traces in the same (seed) order.
+func TestSweepParallelEqualsSequential(t *testing.T) {
+	t.Parallel()
+	for _, faults := range []*sim.LinkFaults{
+		nil,
+		{DropPct: 15, MaxExtraDelay: 4,
+			Partitions: []sim.Partition{{Side: model.NewProcessSet(1, 3), From: 50, Until: 500}}},
+	} {
+		sc := testScenario(faults)
+		seq := digests(t, Sweep(sc, Seeds(8), 1))
+		par := digests(t, Sweep(sc, Seeds(8), 2*runtime.GOMAXPROCS(0)))
+		if len(seq) != len(par) {
+			t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("faults=%v seed %d: parallel trace differs from sequential", faults, i)
+			}
+		}
+	}
+}
+
+// TestSweepOrderAndSeeds checks results come back slotted by seed for
+// an arbitrary range.
+func TestSweepOrderAndSeeds(t *testing.T) {
+	t.Parallel()
+	results := Sweep(testScenario(nil), SeedRange{From: 100, To: 108}, 0)
+	if len(results) != 8 {
+		t.Fatalf("got %d results, want 8", len(results))
+	}
+	for i, r := range results {
+		if r.Seed != int64(100+i) {
+			t.Fatalf("slot %d holds seed %d", i, r.Seed)
+		}
+	}
+}
+
+// TestMapSummarizesInWorkers checks Map's analyses line up with the
+// seeds and that the sweep actually decided consensus in every run.
+func TestMapSummarizesInWorkers(t *testing.T) {
+	t.Parallel()
+	type summary struct {
+		seed    int64
+		decided bool
+	}
+	sums := Map(testScenario(nil), Seeds(10), 0, func(r Result) summary {
+		if r.Err != nil {
+			t.Errorf("seed %d: %v", r.Seed, r.Err)
+			return summary{seed: r.Seed}
+		}
+		return summary{seed: r.Seed, decided: r.Trace.Stopped == sim.StopCondition}
+	})
+	for i, s := range sums {
+		if s.seed != int64(i) {
+			t.Fatalf("slot %d holds seed %d", i, s.seed)
+		}
+		if !s.decided {
+			t.Fatalf("seed %d: consensus did not decide", s.seed)
+		}
+	}
+}
+
+// TestAfterStepFactoryIsolatesRuns reproduces the E6 adversary shape:
+// the AfterStep factory must give every run its own closure state, so
+// each run crashes p1 exactly once after its first decision.
+func TestAfterStepFactoryIsolatesRuns(t *testing.T) {
+	t.Parallel()
+	sc := testScenario(nil)
+	sc.Pattern = func() *model.FailurePattern { return model.MustPattern(5) }
+	sc.AfterStep = func() func(*sim.Run, *sim.EventRecord) {
+		crashed := false // per-run state
+		return func(r *sim.Run, ev *sim.EventRecord) {
+			if crashed || ev.P != 1 {
+				return
+			}
+			for _, pe := range ev.Events {
+				if pe.Kind == sim.KindDecide {
+					crashed = true
+					_ = r.Crash(1)
+				}
+			}
+		}
+	}
+	for _, r := range Sweep(sc, Seeds(8), 0) {
+		if r.Err != nil {
+			t.Fatalf("seed %d: %v", r.Seed, r.Err)
+		}
+		if _, crashed := r.Trace.Pattern.CrashTime(1); !crashed {
+			// p1 may legitimately never decide under some schedules,
+			// but with a perfect detector and no other crashes it
+			// always does here.
+			t.Fatalf("seed %d: adversarial hook never fired", r.Seed)
+		}
+	}
+}
+
+// TestScenarioFaultsWrapPolicy checks Config wires the fault plan in
+// as a FaultyPolicy around the scenario policy.
+func TestScenarioFaultsWrapPolicy(t *testing.T) {
+	t.Parallel()
+	sc := testScenario(&sim.LinkFaults{DropPct: 10})
+	cfg := sc.Config(3)
+	fp, ok := cfg.Policy.(*sim.FaultyPolicy)
+	if !ok {
+		t.Fatalf("policy is %T, want *sim.FaultyPolicy", cfg.Policy)
+	}
+	if _, ok := fp.Inner.(*sim.RandomFairPolicy); !ok {
+		t.Fatalf("inner policy is %T, want *sim.RandomFairPolicy", fp.Inner)
+	}
+	if cfg.Seed != 3 {
+		t.Fatalf("seed = %d, want 3", cfg.Seed)
+	}
+	// An inert plan must not wrap.
+	sc.Faults = &sim.LinkFaults{}
+	if _, ok := sc.Config(0).Policy.(*sim.FaultyPolicy); ok {
+		t.Fatal("inert fault plan still wrapped the policy")
+	}
+}
+
+// TestSeedMapAndParMap pin the generic fan-outs: ordering, empty
+// inputs, and the worker count not leaking into results.
+func TestSeedMapAndParMap(t *testing.T) {
+	t.Parallel()
+	sq := SeedMap(SeedRange{From: 5, To: 15}, 3, func(seed int64) int64 { return seed * seed })
+	for i, v := range sq {
+		seed := int64(5 + i)
+		if v != seed*seed {
+			t.Fatalf("slot %d = %d, want %d", i, v, seed*seed)
+		}
+	}
+	if got := SeedMap(SeedRange{From: 4, To: 4}, 8, func(int64) int { return 1 }); got != nil {
+		t.Fatalf("empty range returned %v", got)
+	}
+	items := []string{"a", "bb", "ccc"}
+	lens := ParMap(items, 0, func(i int, s string) int { return i*100 + len(s) })
+	want := []int{1, 102, 203}
+	for i := range want {
+		if lens[i] != want[i] {
+			t.Fatalf("ParMap[%d] = %d, want %d", i, lens[i], want[i])
+		}
+	}
+	if got := ParMap(nil, 4, func(int, struct{}) int { return 0 }); got != nil {
+		t.Fatalf("empty ParMap returned %v", got)
+	}
+}

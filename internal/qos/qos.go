@@ -48,6 +48,16 @@ func (tl *Timeline) Record(at time.Time, suspected bool) {
 	tl.end = at
 }
 
+// FinalSuspected reports the last verdict of the window — false when
+// the timeline is empty. A healed outage must leave this false: trust
+// restored.
+func (tl *Timeline) FinalSuspected() bool {
+	if len(tl.samples) == 0 {
+		return false
+	}
+	return tl.samples[len(tl.samples)-1].suspected
+}
+
 // Metrics are the Chen-Toueg-Aguilera QoS figures computed over one
 // timeline.
 type Metrics struct {

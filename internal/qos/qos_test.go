@@ -179,7 +179,7 @@ func TestSweepFrontier(t *testing.T) {
 		{Label: "phi-8", Make: func() heartbeat.Estimator {
 			return &heartbeat.PhiAccrual{Window: 64, Threshold: 8, MinStdDev: 2 * time.Millisecond}
 		}},
-	})
+	}, 2)
 	if len(points) != 4 {
 		t.Fatalf("points = %d", len(points))
 	}

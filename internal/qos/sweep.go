@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"realisticfd/internal/harness"
 	"realisticfd/internal/heartbeat"
 )
 
@@ -22,6 +23,13 @@ type ArrivalModel struct {
 	// CrashAfter, when positive, crashes the sender that long into the
 	// run.
 	CrashAfter time.Duration
+	// OutageStart/OutageDuration, when OutageDuration is positive,
+	// silence the link for that window: heartbeats sent in
+	// [OutageStart, OutageStart+OutageDuration) from the epoch are
+	// lost, then the link heals — the timeline analogue of a network
+	// partition with heal-at-t.
+	OutageStart    time.Duration
+	OutageDuration time.Duration
 	// Duration is the observation window length.
 	Duration time.Duration
 	// SamplePeriod is how often the monitor is queried.
@@ -57,6 +65,15 @@ func (am ArrivalModel) Replay(est heartbeat.Estimator) *Timeline {
 			continue
 		}
 		jitter := time.Duration(math.Abs(rng.NormFloat64()) * float64(am.JitterStd))
+		// The outage filter runs after every RNG draw, so enabling an
+		// outage does not shift the jitter/loss stream: the same seed
+		// yields the same arrivals outside the silent window.
+		if am.OutageDuration > 0 {
+			sinceStart := sent.Sub(start)
+			if sinceStart >= am.OutageStart && sinceStart < am.OutageStart+am.OutageDuration {
+				continue
+			}
+		}
 		arrivals = append(arrivals, sent.Add(jitter))
 	}
 
@@ -77,6 +94,12 @@ type SweepPoint struct {
 	Estimator string
 	Crash     Metrics // run where the sender crashes mid-window
 	Steady    Metrics // failure-free run (mistakes only)
+	// Outage is the run where the link goes silent for a while and
+	// heals; the suspicion episodes it induces are mistakes, and
+	// OutageRecovered reports whether the estimator trusts the sender
+	// again by the end of the window.
+	Outage          Metrics
+	OutageRecovered bool
 }
 
 // Config is one estimator configuration in a sweep.
@@ -85,12 +108,14 @@ type Config struct {
 	Make  func() heartbeat.Estimator
 }
 
-// Sweep replays both a crash scenario and a steady-state scenario for
-// each estimator configuration, pairing detection speed against false
-// suspicion cost — the E9 frontier.
-func Sweep(base ArrivalModel, configs []Config) []SweepPoint {
-	out := make([]SweepPoint, 0, len(configs))
-	for _, cfg := range configs {
+// Sweep replays a crash scenario, a steady-state scenario and a
+// healed-outage scenario for each estimator configuration, pairing
+// detection speed against false-suspicion cost — the E9 frontier. The
+// configurations replay concurrently on workers goroutines (≤ 0 means
+// GOMAXPROCS); results keep input order, so the sweep is deterministic
+// at any parallelism. Make must build estimators without shared state.
+func Sweep(base ArrivalModel, configs []Config, workers int) []SweepPoint {
+	return harness.ParMap(configs, workers, func(_ int, cfg Config) SweepPoint {
 		crashModel := base
 		if crashModel.CrashAfter <= 0 {
 			crashModel.CrashAfter = base.Duration / 2
@@ -98,13 +123,21 @@ func Sweep(base ArrivalModel, configs []Config) []SweepPoint {
 		steadyModel := base
 		steadyModel.CrashAfter = 0
 
+		outageModel := steadyModel
+		if outageModel.OutageDuration <= 0 {
+			outageModel.OutageStart = 2 * base.Duration / 5
+			outageModel.OutageDuration = base.Duration / 10
+		}
+
 		crashTL := crashModel.Replay(cfg.Make())
 		steadyTL := steadyModel.Replay(cfg.Make())
-		out = append(out, SweepPoint{
-			Estimator: cfg.Label,
-			Crash:     crashTL.Compute(),
-			Steady:    steadyTL.Compute(),
-		})
-	}
-	return out
+		outageTL := outageModel.Replay(cfg.Make())
+		return SweepPoint{
+			Estimator:       cfg.Label,
+			Crash:           crashTL.Compute(),
+			Steady:          steadyTL.Compute(),
+			Outage:          outageTL.Compute(),
+			OutageRecovered: !outageTL.FinalSuspected(),
+		}
+	})
 }

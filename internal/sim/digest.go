@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// Digest returns a hex SHA-256 fingerprint of the full run: the
+// schedule with times, received and sent messages (payloads included),
+// failure-detector samples, protocol events, the final failure pattern
+// and the undelivered buffer. Two runs are byte-identical iff their
+// digests match, which is how the replay regression tests and the
+// parallel-sweep determinism checks state "same Config + same Seed ⇒
+// same run" — the property the Lemma 4.1 indistinguishability argument
+// (and every deterministic replay) rests on.
+func (tr *Trace) Digest() string {
+	h := sha256.New()
+	tr.encode(h)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// encode writes a canonical rendering of the trace to w.
+func (tr *Trace) encode(w io.Writer) {
+	fmt.Fprintf(w, "n=%d stopped=%d pattern=%s\n", tr.N, tr.Stopped, tr.Pattern)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		fmt.Fprintf(w, "e%d p=%d t=%d fd=%s prev=%d", ev.Index, ev.P, ev.T, ev.FD, ev.PrevSameProc)
+		if ev.Msg != nil {
+			fmt.Fprintf(w, " rcv=(%d %d>%d @%d by%d %v)",
+				ev.Msg.ID, ev.Msg.From, ev.Msg.To, ev.Msg.SentAt, ev.Msg.SentBy, ev.Msg.Payload)
+		}
+		for _, m := range ev.Sends {
+			fmt.Fprintf(w, " snd=(%d >%d %v)", m.ID, m.To, m.Payload)
+		}
+		for _, pe := range ev.Events {
+			fmt.Fprintf(w, " ev=(%d %d %v)", pe.Kind, pe.Instance, pe.Value)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, m := range tr.Undelivered {
+		fmt.Fprintf(w, "u=(%d %d>%d @%d %v)\n", m.ID, m.From, m.To, m.SentAt, m.Payload)
+	}
+}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"realisticfd/internal/model"
+)
+
+// Partition is one scripted network partition: while From ≤ t < Until,
+// no message crosses between Side and its complement Ω \ Side. At time
+// Until the partition heals and the withheld traffic becomes
+// deliverable again (the messages waited in the buffer, as §2.3's
+// model prescribes — a partition delays, it does not destroy).
+type Partition struct {
+	// Side is one side of the cut; the other side is Ω \ Side.
+	Side model.ProcessSet
+	// From is the first partitioned instant.
+	From model.Time
+	// Until is the heal time: the first instant at which cross-cut
+	// traffic flows again. Until ≤ From makes the partition inert.
+	Until model.Time
+}
+
+// Blocks reports whether the partition forbids delivering a message
+// from p to q at time t.
+func (pt Partition) Blocks(p, q model.ProcessID, t model.Time) bool {
+	return t >= pt.From && t < pt.Until && pt.Side.Has(p) != pt.Side.Has(q)
+}
+
+// String renders the partition compactly.
+func (pt Partition) String() string {
+	return fmt.Sprintf("%v|rest@%d..%d", pt.Side, pt.From, pt.Until)
+}
+
+// LinkFaults describes a composable set of link-level faults layered on
+// top of any scheduling policy by FaultyPolicy. Every fault decision is
+// a pure function of the fault seed and the message identity, so a run
+// replayed with the same sim.Config (and therefore the same engine RNG
+// stream) reproduces the exact same losses, delays and partitions.
+//
+// Liveness caveat: DropPct > 0 models a lossy link without
+// retransmission, so condition (5) of §2.4 (every message to a correct
+// process is eventually received) no longer holds and only safety
+// properties should be asserted. MaxExtraDelay and healed Partitions
+// preserve eventual delivery within a sufficient horizon.
+type LinkFaults struct {
+	// DropPct is the percentage (0..100) of messages lost forever.
+	DropPct int
+	// MaxExtraDelay adds a per-message extra latency drawn uniformly
+	// from [0, MaxExtraDelay] ticks: the message is invisible to its
+	// destination until SentAt + extra.
+	MaxExtraDelay model.Time
+	// Partitions are scripted cuts, each healing at its Until time.
+	Partitions []Partition
+}
+
+// Active reports whether the fault plan perturbs anything at all.
+func (lf LinkFaults) Active() bool {
+	return lf.DropPct > 0 || lf.MaxExtraDelay > 0 || len(lf.Partitions) > 0
+}
+
+// LossFree reports whether every message is eventually deliverable
+// (no drops and every partition heals), i.e. whether liveness claims
+// survive the fault plan.
+func (lf LinkFaults) LossFree() bool {
+	return lf.DropPct <= 0
+}
+
+// String renders the plan, e.g. "faults{drop=10%,delay≤4,part=[{p1,p2}|rest@40..400]}".
+func (lf LinkFaults) String() string {
+	if !lf.Active() {
+		return "faults{none}"
+	}
+	var parts []string
+	if lf.DropPct > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%d%%", lf.DropPct))
+	}
+	if lf.MaxExtraDelay > 0 {
+		parts = append(parts, fmt.Sprintf("delay≤%d", lf.MaxExtraDelay))
+	}
+	if len(lf.Partitions) > 0 {
+		ps := make([]string, len(lf.Partitions))
+		for i, p := range lf.Partitions {
+			ps[i] = p.String()
+		}
+		parts = append(parts, "part=["+strings.Join(ps, " ")+"]")
+	}
+	return "faults{" + strings.Join(parts, ",") + "}"
+}
+
+// FaultyPolicy layers LinkFaults on top of an inner scheduling policy:
+// messages the faults make invisible at time t (dropped forever,
+// still in their extra-delay window, or caught behind an unhealed
+// partition) are hidden from the inner policy, which schedules the
+// remaining traffic exactly as it would have. Composability is the
+// point — any Policy (fair, random-fair, adversarial) can be wrapped.
+//
+// The per-message fault lottery is seeded once per run: explicitly via
+// Seed, or, when Seed is zero, from the engine's RNG on first use.
+// Either way the decision for message m depends only on (seed, m.ID),
+// never on scheduling order, so replays with the same Config are
+// byte-identical and the Lemma 4.1 indistinguishability argument keeps
+// its footing under faulty links.
+//
+// Like every Policy, a FaultyPolicy is a stateful per-run object:
+// construct a fresh one for each run.
+type FaultyPolicy struct {
+	// Inner supplies the underlying schedule; nil means FairPolicy.
+	Inner Policy
+	// Faults is the fault plan.
+	Faults LinkFaults
+	// Seed overrides the fault lottery seed; 0 draws one from the
+	// engine RNG on first use (still deterministic per run).
+	Seed uint64
+
+	seed    uint64
+	seeded  bool
+	visible []*Message // scratch: reused per PickMessage call
+	origIdx []int      // scratch: visible[i] = pending[origIdx[i]]
+	// verdicts caches the (drop, ready-time) lottery per message ID:
+	// dropped messages linger in the pending buffer for the whole run,
+	// so without the cache every step would re-hash the full backlog.
+	verdicts map[int64]faultVerdict
+}
+
+// faultVerdict is the cached per-message lottery outcome.
+type faultVerdict struct {
+	dropped bool
+	ready   model.Time // SentAt + extra delay
+}
+
+var _ Policy = (*FaultyPolicy)(nil)
+
+func (fp *FaultyPolicy) inner() Policy {
+	if fp.Inner == nil {
+		fp.Inner = &FairPolicy{}
+	}
+	return fp.Inner
+}
+
+func (fp *FaultyPolicy) ensureSeed(r *rand.Rand) {
+	if fp.seeded {
+		return
+	}
+	if fp.Seed != 0 {
+		fp.seed = fp.Seed
+	} else {
+		fp.seed = r.Uint64()
+	}
+	fp.seeded = true
+}
+
+// mix64 is a splitmix64 finalizer: the per-message fault lottery.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Dropped reports whether the plan loses message m forever.
+func (fp *FaultyPolicy) Dropped(m *Message) bool {
+	if fp.Faults.DropPct <= 0 {
+		return false
+	}
+	return mix64(fp.seed^uint64(m.ID)) % 100 < uint64(fp.Faults.DropPct)
+}
+
+// ExtraDelay returns the extra latency the plan imposes on m.
+func (fp *FaultyPolicy) ExtraDelay(m *Message) model.Time {
+	d := fp.Faults.MaxExtraDelay
+	if d <= 0 {
+		return 0
+	}
+	return model.Time(mix64(fp.seed^uint64(m.ID)<<1^0xd1b54a32d192ed03) % uint64(d+1))
+}
+
+// verdict returns m's cached fault-lottery outcome, computing it on
+// first sight.
+func (fp *FaultyPolicy) verdict(m *Message) faultVerdict {
+	if v, ok := fp.verdicts[m.ID]; ok {
+		return v
+	}
+	if fp.verdicts == nil {
+		fp.verdicts = make(map[int64]faultVerdict)
+	}
+	v := faultVerdict{dropped: fp.Dropped(m), ready: m.SentAt + fp.ExtraDelay(m)}
+	fp.verdicts[m.ID] = v
+	return v
+}
+
+// Deliverable reports whether m may reach its destination at time t
+// under the fault plan (assuming the fault seed is fixed).
+func (fp *FaultyPolicy) Deliverable(m *Message, t model.Time) bool {
+	if v := fp.verdict(m); v.dropped || t < v.ready {
+		return false
+	}
+	for _, pt := range fp.Faults.Partitions {
+		if pt.Blocks(m.From, m.To, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// NextProcess implements Policy by delegating to the inner policy.
+func (fp *FaultyPolicy) NextProcess(alive []model.ProcessID, t model.Time, r *rand.Rand) model.ProcessID {
+	fp.ensureSeed(r)
+	return fp.inner().NextProcess(alive, t, r)
+}
+
+// PickMessage implements Policy: the inner policy chooses among the
+// messages the faults let through, and the choice is mapped back to an
+// index into the full pending slice.
+func (fp *FaultyPolicy) PickMessage(p model.ProcessID, pending []*Message, t model.Time, r *rand.Rand) int {
+	fp.ensureSeed(r)
+	fp.visible = fp.visible[:0]
+	fp.origIdx = fp.origIdx[:0]
+	for i, m := range pending {
+		if fp.Deliverable(m, t) {
+			fp.visible = append(fp.visible, m)
+			fp.origIdx = append(fp.origIdx, i)
+		}
+	}
+	idx := fp.inner().PickMessage(p, fp.visible, t, r)
+	if idx < 0 {
+		return -1
+	}
+	if idx >= len(fp.origIdx) {
+		return -1
+	}
+	return fp.origIdx[idx]
+}

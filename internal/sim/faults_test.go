@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+)
+
+// TestFaultyPolicyDropIsPerMessage checks that the drop lottery is a
+// pure function of the message identity: whether m is lost must not
+// depend on when or how often the policy looks at the buffer.
+func TestFaultyPolicyDropIsPerMessage(t *testing.T) {
+	t.Parallel()
+	fp := &FaultyPolicy{Faults: LinkFaults{DropPct: 40}, Seed: 99}
+	fp.seeded, fp.seed = true, fp.Seed
+	m := &Message{ID: 7, From: 1, To: 2, SentAt: 3}
+	first := fp.Dropped(m)
+	for i := 0; i < 50; i++ {
+		if fp.Dropped(m) != first {
+			t.Fatal("drop verdict changed between calls")
+		}
+	}
+	// Over many messages the drop rate must be in the right ballpark.
+	dropped := 0
+	const total = 2000
+	for id := int64(1); id <= total; id++ {
+		if fp.Dropped(&Message{ID: id}) {
+			dropped++
+		}
+	}
+	if dropped < total*30/100 || dropped > total*50/100 {
+		t.Fatalf("drop rate %d/%d far from configured 40%%", dropped, total)
+	}
+}
+
+// TestFaultyPolicyDelayBounded checks 0 ≤ extra delay ≤ MaxExtraDelay.
+func TestFaultyPolicyDelayBounded(t *testing.T) {
+	t.Parallel()
+	fp := &FaultyPolicy{Faults: LinkFaults{MaxExtraDelay: 5}, Seed: 4}
+	fp.seeded, fp.seed = true, fp.Seed
+	seen := make(map[model.Time]bool)
+	for id := int64(1); id <= 500; id++ {
+		d := fp.ExtraDelay(&Message{ID: id})
+		if d < 0 || d > 5 {
+			t.Fatalf("extra delay %d outside [0, 5]", d)
+		}
+		seen[d] = true
+	}
+	for want := model.Time(0); want <= 5; want++ {
+		if !seen[want] {
+			t.Errorf("delay %d never drawn in 500 messages", want)
+		}
+	}
+}
+
+// TestPartitionBlocksOnlyCrossCut checks the partition predicate: only
+// cross-cut traffic inside the window is blocked, and the cut heals.
+func TestPartitionBlocksOnlyCrossCut(t *testing.T) {
+	t.Parallel()
+	pt := Partition{Side: model.NewProcessSet(1, 2), From: 10, Until: 20}
+	cases := []struct {
+		from, to model.ProcessID
+		t        model.Time
+		blocked  bool
+	}{
+		{1, 3, 15, true},   // cross-cut, inside window
+		{3, 1, 15, true},   // symmetric
+		{1, 2, 15, false},  // same side
+		{3, 4, 15, false},  // same (other) side
+		{1, 3, 9, false},   // before the cut
+		{1, 3, 20, false},  // healed
+		{1, 3, 500, false}, // long healed
+	}
+	for _, c := range cases {
+		if got := pt.Blocks(c.from, c.to, c.t); got != c.blocked {
+			t.Errorf("Blocks(%v→%v @%d) = %v, want %v", c.from, c.to, c.t, got, c.blocked)
+		}
+	}
+}
+
+// TestFaultyPolicyPartitionDelivery runs the broadcast automaton under
+// a healing partition: messages across the cut are withheld during the
+// window and delivered after the heal, so every correct process still
+// delivers by the horizon.
+func TestFaultyPolicyPartitionDelivery(t *testing.T) {
+	t.Parallel()
+	tr, err := Execute(Config{
+		N: 5, Automaton: broadcastAutomaton{}, Oracle: fd.Perfect{},
+		Horizon: 400, Seed: 11,
+		Policy: &FaultyPolicy{Faults: LinkFaults{
+			Partitions: []Partition{{Side: model.NewProcessSet(1), From: 1, Until: 100}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := model.EmptySet()
+	var firstCrossDelivery model.Time
+	for _, le := range tr.ProtocolEvents(KindDeliver) {
+		delivered = delivered.Add(le.P)
+		if le.P != 1 && firstCrossDelivery == 0 {
+			firstCrossDelivery = le.T
+		}
+	}
+	if want := model.NewProcessSet(2, 3, 4, 5); !want.SubsetOf(delivered) {
+		t.Fatalf("delivered = %v, want ⊇ %v (partition must heal)", delivered, want)
+	}
+	if firstCrossDelivery < 100 {
+		t.Fatalf("cross-cut delivery at t=%d, inside partition window [1, 100)", firstCrossDelivery)
+	}
+}
+
+// TestFaultyPolicyDropLosesTraffic runs the broadcast automaton under
+// a heavy-loss link and checks that some messages are genuinely never
+// delivered: they remain in the undelivered buffer at the horizon.
+func TestFaultyPolicyDropLosesTraffic(t *testing.T) {
+	t.Parallel()
+	tr, err := Execute(Config{
+		N: 6, Automaton: noisyAutomaton{}, Oracle: fd.Perfect{},
+		Horizon: 300, Seed: 5,
+		Policy: &FaultyPolicy{Faults: LinkFaults{DropPct: 60}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := &FaultyPolicy{Faults: LinkFaults{DropPct: 60}}
+	// Recover the lottery seed the run drew: replay the engine's RNG.
+	tr2, err := Execute(Config{
+		N: 6, Automaton: noisyAutomaton{}, Oracle: fd.Perfect{},
+		Horizon: 300, Seed: 5,
+		Policy: fp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Digest() != tr2.Digest() {
+		t.Fatal("identical faulty configs replayed differently")
+	}
+	droppedLeft := 0
+	for _, m := range tr2.Undelivered {
+		if fp.Dropped(m) {
+			droppedLeft++
+		}
+	}
+	if droppedLeft == 0 {
+		t.Fatal("60% drop rate but no dropped message left in the buffer")
+	}
+}
+
+// TestFaultyPolicyComposesWithInner checks the wrapper preserves the
+// inner policy's scheduling among deliverable messages (fairness
+// forcing, adversarial embargoes, ...).
+func TestFaultyPolicyComposesWithInner(t *testing.T) {
+	t.Parallel()
+	inner := &DelayPolicy{Target: model.NewProcessSet(2), Until: 50}
+	fp := &FaultyPolicy{Inner: inner, Faults: LinkFaults{MaxExtraDelay: 2}, Seed: 8}
+	tr, err := Execute(Config{
+		N: 5, Automaton: broadcastAutomaton{}, Oracle: fd.Perfect{},
+		Horizon: 200, Seed: 3, Policy: fp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The embargo on p2 must still hold: p2 receives nothing before 50.
+	for _, i := range tr.EventsOf(2) {
+		ev := tr.Events[i]
+		if ev.Msg != nil && ev.T < 50 {
+			t.Fatalf("embargoed message delivered to p2 at t=%d", ev.T)
+		}
+	}
+}
+
+// TestLinkFaultsString pins the rendering used by fdsim banners.
+func TestLinkFaultsString(t *testing.T) {
+	t.Parallel()
+	if got := (LinkFaults{}).String(); got != "faults{none}" {
+		t.Errorf("empty plan renders %q", got)
+	}
+	lf := LinkFaults{DropPct: 10, MaxExtraDelay: 4,
+		Partitions: []Partition{{Side: model.NewProcessSet(1, 2), From: 40, Until: 400}}}
+	got := lf.String()
+	for _, want := range []string{"drop=10%", "delay≤4", "@40..400"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("plan rendering %q missing %q", got, want)
+		}
+	}
+	if lf.LossFree() {
+		t.Error("plan with drops claims loss-free")
+	}
+	if !(LinkFaults{MaxExtraDelay: 3}).LossFree() {
+		t.Error("delay-only plan must be loss-free")
+	}
+}
