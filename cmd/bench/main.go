@@ -1,0 +1,272 @@
+// Command bench runs the repository's benchmark suite in-process and
+// emits a machine-readable JSON report (BENCH_PR2.json by default),
+// the artifact the CI benchmark job uploads per PR so the perf
+// trajectory of the simulator is tracked commit over commit.
+//
+// The suite mirrors the per-package -bench benchmarks (engine stepping,
+// consensus/TRB/abcast protocol runs, trace queries, the E8 experiment
+// table) and adds the large-scale configuration the ROADMAP points at:
+// an n=64 many-seed parallel sweep.
+//
+// Run with: go run ./cmd/bench [-out BENCH_PR2.json] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"realisticfd/internal/abcast"
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/experiments"
+	"realisticfd/internal/fd"
+	"realisticfd/internal/harness"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+	"realisticfd/internal/trb"
+)
+
+// busyAutomaton keeps the message buffer full: every process seeds one
+// broadcast and re-broadcasts on every 8th received message — the same
+// load shape as the sim package's engine benchmark.
+type busyAutomaton struct{}
+
+type busyProc struct {
+	self model.ProcessID
+	n    int
+	seen int
+	sent bool
+}
+
+func (busyAutomaton) Spawn(self model.ProcessID, n int) sim.Process {
+	return &busyProc{self: self, n: n}
+}
+
+func (p *busyProc) Step(in *sim.Message, _ model.ProcessSet, _ model.Time) sim.Actions {
+	var acts sim.Actions
+	if !p.sent {
+		p.sent = true
+		acts.Sends = sim.Broadcast(p.n, "seed")
+	}
+	if in != nil {
+		p.seen++
+		if p.seen%8 == 0 {
+			acts.Sends = sim.Broadcast(p.n, "echo")
+		}
+	}
+	return acts
+}
+
+// result is one benchmark's measurement.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []result `json:"results"`
+}
+
+func abcastScript(n, per int) map[model.ProcessID][]string {
+	out := make(map[model.ProcessID][]string, n)
+	for p := 1; p <= n; p++ {
+		msgs := make([]string, per)
+		for i := range msgs {
+			msgs[i] = fmt.Sprintf("m-%d-%d", p, i)
+		}
+		out[model.ProcessID(p)] = msgs
+	}
+	return out
+}
+
+// mustRun executes one seeded run and asserts it finished by StopWhen.
+// Failures panic with a named diagnostic: testing.B instances built by
+// testing.Benchmark outside a test binary have no runner, so b.Fatal
+// would die in a bare nil-pointer panic instead of reporting anything.
+func mustRun(cfg sim.Config, wantCondition bool) *sim.Trace {
+	tr, err := sim.Execute(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: run failed: %v", err))
+	}
+	if wantCondition && tr.Stopped != sim.StopCondition {
+		panic(fmt.Sprintf("bench: run did not reach its stop condition: %v", tr))
+	}
+	return tr
+}
+
+// suite returns the named benchmark bodies in report order. The
+// engine/consensus/trb configurations deliberately mirror the
+// per-package *_test.go benchmarks (BenchmarkEngineSteps,
+// BenchmarkSFloodingRun, BenchmarkRotatingRun, BenchmarkTRBWave) so
+// the JSON trajectory stays comparable to `go test -bench` numbers —
+// change them together or the tracked history breaks.
+func suite(quick bool) []struct {
+	name string
+	fn   func(*testing.B)
+} {
+	sweepSeeds := 256
+	if quick {
+		sweepSeeds = 32
+	}
+	return []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"sim/engine-steps-n8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustRun(sim.Config{
+					N: 8, Automaton: busyAutomaton{}, Oracle: fd.Perfect{Delay: 2},
+					Horizon: 2000, Seed: int64(i), Policy: &sim.RandomFairPolicy{},
+				}, false)
+			}
+		}},
+		{"sim/causal-past", func(b *testing.B) {
+			tr := func() *sim.Trace {
+				tr, err := sim.Execute(sim.Config{
+					N: 8, Automaton: busyAutomaton{}, Oracle: fd.Perfect{},
+					Horizon: 4000, Seed: 3, Policy: &sim.RandomFairPolicy{},
+				})
+				if err != nil {
+					panic(err)
+				}
+				return tr
+			}()
+			last := len(tr.Events) - 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = tr.CausalPast(last)
+			}
+		}},
+		{"consensus/sflooding-run", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustRun(sim.Config{
+					N:         5,
+					Automaton: consensus.SFlooding{Proposals: consensus.DistinctProposals(5)},
+					Oracle:    fd.Perfect{Delay: 2},
+					Pattern:   model.MustPattern(5).MustCrash(2, 40),
+					Horizon:   20000, Seed: int64(i),
+					Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
+				}, true)
+			}
+		}},
+		{"consensus/rotating-run", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustRun(sim.Config{
+					N:         5,
+					Automaton: consensus.Rotating{Proposals: consensus.DistinctProposals(5)},
+					Oracle:    fd.EventuallyStrong{GST: 50, Delay: 2, Seed: 3, FalseRate: 10},
+					Pattern:   model.MustPattern(5).MustCrash(2, 40),
+					Horizon:   20000, Seed: int64(i),
+					Policy: &sim.RandomFairPolicy{}, StopWhen: sim.CorrectDecided(0),
+				}, true)
+			}
+		}},
+		{"trb/wave", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustRun(sim.Config{
+					N: 5, Automaton: trb.Broadcast{Waves: 1}, Oracle: fd.Perfect{Delay: 2},
+					Pattern: model.MustPattern(5).MustCrash(2, 30),
+					Horizon: 60000, Seed: int64(i),
+					StopWhen: trb.AllDelivered(1),
+				}, true)
+			}
+		}},
+		{"abcast/total-order", func(b *testing.B) {
+			sc := abcastScript(5, 2)
+			const expected = 5 * 10 // every process delivers all 10 messages
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustRun(sim.Config{
+					N: 5, Automaton: abcast.Atomic{ToBroadcast: sc, MaxInstances: 30},
+					Oracle:  fd.Perfect{Delay: 2},
+					Pattern: model.MustPattern(5), Horizon: 120000, Seed: int64(i),
+					StopWhen: func(tr *sim.Trace) bool {
+						return len(tr.ProtocolEvents(sim.KindDeliver)) >= expected
+					},
+				}, true)
+			}
+		}},
+		{"experiments/e8-majority-crossover", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				experiments.E8MajorityCrossover(1)
+			}
+		}},
+		{fmt.Sprintf("sweep/n64-seeds%d", sweepSeeds), func(b *testing.B) {
+			sc := harness.Scenario{
+				Name: "bench-n64", N: 64,
+				Automaton: busyAutomaton{},
+				Oracle:    fd.Perfect{Delay: 2},
+				Horizon:   2000,
+				Pattern: func() *model.FailurePattern {
+					return model.MustPattern(64).MustCrash(7, 300).MustCrash(21, 900)
+				},
+				Policy: func() sim.Policy { return &sim.RandomFairPolicy{} },
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				digests := harness.Map(sc, harness.Seeds(sweepSeeds), 0, func(r harness.Result) string {
+					if r.Err != nil {
+						panic(fmt.Sprintf("bench: sweep run failed: %v", r.Err))
+					}
+					return r.Trace.Digest()
+				})
+				if len(digests) != sweepSeeds {
+					panic(fmt.Sprintf("bench: sweep produced %d results, want %d", len(digests), sweepSeeds))
+				}
+			}
+		}},
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "path of the JSON report")
+	quick := flag.Bool("quick", false, "smaller sweep sizes for local smoke runs")
+	flag.Parse()
+
+	rep := report{
+		Schema:     "realisticfd-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range suite(*quick) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", bm.name)
+		r := testing.Benchmark(bm.fn)
+		rep.Results = append(rep.Results, result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "  %d iters, %.0f ns/op, %d B/op, %d allocs/op\n",
+			r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+}

@@ -39,20 +39,7 @@ func main() {
 		Horizon:   60000,
 		Seed:      7,
 		Policy:    &sim.RandomFairPolicy{},
-		StopWhen: func(tr *sim.Trace) bool {
-			dels := trb.Deliveries(tr)
-			for init := 1; init <= n; init++ {
-				for k := 0; k < waves; k++ {
-					m := dels[trb.InstanceID(model.ProcessID(init), k)]
-					for _, p := range tr.Pattern.Correct().Slice() {
-						if _, ok := m[p]; !ok {
-							return false
-						}
-					}
-				}
-			}
-			return true
-		},
+		StopWhen:  trb.AllDelivered(waves),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -43,11 +43,7 @@ func main() {
 		Seed:    13,
 		Policy:  &sim.RandomFairPolicy{},
 		StopWhen: func(tr *sim.Trace) bool {
-			last := model.EmptySet()
-			for _, d := range tr.Decisions(maxInst - 1) {
-				last = last.Add(d.P)
-			}
-			return tr.Pattern.Correct().SubsetOf(last)
+			return tr.Pattern.Correct().SubsetOf(tr.DecidedSet(maxInst - 1))
 		},
 	})
 	if err != nil {

@@ -105,6 +105,12 @@ type rcProc struct {
 	earlyPropose map[int]Value
 
 	coord map[int]*coordState // round → coordinator state
+	// coordRounds mirrors coord's keys in increasing order so the
+	// per-step progress scan never rebuilds and sorts a key slice
+	// (measured as the top allocator of the E8 sweep).
+	coordRounds []int
+	// roundScratch is the reusable snapshot buffer of coordProgress.
+	roundScratch []int
 
 	done    bool
 	relayed bool
@@ -222,6 +228,10 @@ func (p *rcProc) coordRound(r int) *coordState {
 	if !ok {
 		cs = &coordState{round: r, estimates: map[model.ProcessID]estEntry{}}
 		p.coord[r] = cs
+		i := sort.SearchInts(p.coordRounds, r)
+		p.coordRounds = append(p.coordRounds, 0)
+		copy(p.coordRounds[i+1:], p.coordRounds[i:])
+		p.coordRounds[i] = r
 	}
 	return cs
 }
@@ -251,13 +261,12 @@ func (p *rcProc) coordAbsorbAck(from model.ProcessID, m rcAck) {
 
 // coordProgress fires, for every live coordinated round, the
 // transitions whose guards hold (rounds iterated in increasing order
-// for determinism).
+// for determinism). It iterates a snapshot: a round created while a
+// transition fires is not visited until the next step, exactly as
+// when the keys were collected up front.
 func (p *rcProc) coordProgress(acts *sim.Actions) {
-	rounds := make([]int, 0, len(p.coord))
-	for r := range p.coord {
-		rounds = append(rounds, r)
-	}
-	sort.Ints(rounds)
+	rounds := append(p.roundScratch[:0], p.coordRounds...)
+	p.roundScratch = rounds
 	for _, r := range rounds {
 		p.coordProgressRound(p.coord[r], acts)
 	}
@@ -285,7 +294,10 @@ func (p *rcProc) coordProgressRound(cs *coordState, acts *sim.Actions) {
 		}
 		cs.proposed = true
 		cs.propVal = bestVal
-		prop := rcPropose{Round: cs.round, Val: bestVal}
+		// One boxed payload shared by every destination: payloads are
+		// immutable once sent, so the broadcast needs one allocation,
+		// not n−1.
+		var prop any = rcPropose{Round: cs.round, Val: bestVal}
 		for q := 1; q <= p.n; q++ {
 			id := model.ProcessID(q)
 			if id == p.self {
@@ -308,7 +320,7 @@ func (p *rcProc) coordProgressRound(cs *coordState, acts *sim.Actions) {
 	// Phase 4: a majority of acks decides; reliable broadcast.
 	if cs.proposed && cs.acks >= p.majority() {
 		cs.decided = true
-		dec := rcDecide{Val: cs.propVal}
+		var dec any = rcDecide{Val: cs.propVal}
 		for q := 1; q <= p.n; q++ {
 			id := model.ProcessID(q)
 			if id == p.self {
@@ -334,12 +346,13 @@ func (p *rcProc) decide(v Value) sim.Actions {
 	}
 	if !p.relayed {
 		p.relayed = true
+		var relay any = rcDecide{Val: v}
 		for q := 1; q <= p.n; q++ {
 			id := model.ProcessID(q)
 			if id == p.self {
 				continue
 			}
-			acts.Sends = append(acts.Sends, sim.Send{To: id, Payload: rcDecide{Val: v}})
+			acts.Sends = append(acts.Sends, sim.Send{To: id, Payload: relay})
 		}
 	}
 	return acts

@@ -173,7 +173,9 @@ func (p *sfProc) floodSends() []sim.Send {
 		}
 	}
 	p.received[p.round] = p.received[p.round].Add(p.self)
-	msg := sfFloodMsg{Round: p.round, Delta: delta}
+	// One boxed payload shared by every destination: payloads are
+	// immutable once sent, so the broadcast costs one allocation.
+	var msg any = sfFloodMsg{Round: p.round, Delta: delta}
 	sends := make([]sim.Send, 0, p.n-1)
 	for q := 1; q <= p.n; q++ {
 		if model.ProcessID(q) != p.self {
@@ -191,7 +193,7 @@ func (p *sfProc) vectorSends() []sim.Send {
 	}
 	p.vectors[p.self] = vec
 	p.vecReceived = p.vecReceived.Add(p.self)
-	msg := sfVectorMsg{Vector: vec}
+	var msg any = sfVectorMsg{Vector: vec}
 	sends := make([]sim.Send, 0, p.n-1)
 	for q := 1; q <= p.n; q++ {
 		if model.ProcessID(q) != p.self {

@@ -148,7 +148,7 @@ func BuildDisagreement(cfg AdversaryConfig) (*DisagreementWitness, error) {
 
 	// --- R1: failure-free, stop at the first decision. ---
 	r1cfg := baseCfg(model.MustPattern(cfg.N))
-	r1cfg.StopWhen = func(tr *sim.Trace) bool { return len(tr.Decisions(0)) > 0 }
+	r1cfg.StopWhen = func(tr *sim.Trace) bool { return tr.DecisionCount(0) > 0 }
 	r1, err := sim.Execute(r1cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: R1 failed: %w", err)
@@ -172,12 +172,7 @@ func BuildDisagreement(cfg AdversaryConfig) (*DisagreementWitness, error) {
 	}
 	r3cfg := baseCfg(pat)
 	r3cfg.StopWhen = func(tr *sim.Trace) bool {
-		for _, d := range tr.Decisions(0) {
-			if d.P == cfg.Victim {
-				return true
-			}
-		}
-		return false
+		return tr.DecidedSet(0).Has(cfg.Victim)
 	}
 	r3, err := sim.Execute(r3cfg)
 	if err != nil {

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata/golden_tables.txt")
+
+const goldenTableSeeds = 2
+
+// goldenTables renders every E-table at a fixed seed count and hashes
+// the rendering. The hashes were generated at the commit before the
+// engine hot-path rewrite, so they hold the rewrite to byte-identical
+// experiment output.
+func goldenTables() map[string]string {
+	gens := map[string]func(int) *Table{
+		"E1": E1Totality,
+		"E2": E2Adversary,
+		"E3": E3Reduction,
+		"E4": E4TRB,
+		"E5": E5Marabout,
+		"E6": E6PartialPerfect,
+		"E7": E7Collapse,
+		"E8": E8MajorityCrossover,
+		"E9": func(int) *Table { return E9QoS() },
+	}
+	out := make(map[string]string, len(gens))
+	for id, gen := range gens {
+		var buf bytes.Buffer
+		gen(goldenTableSeeds).Fprint(&buf)
+		sum := sha256.Sum256(buf.Bytes())
+		out[id] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+// TestGoldenTables pins the rendered experiment tables: any engine or
+// query-API change that shifts a schedule, a decision time, or a table
+// cell shows up as a hash mismatch. Regenerate with
+//
+//	go test ./internal/experiments -run TestGoldenTables -update
+//
+// only when output is *supposed* to change, and say why in the PR.
+func TestGoldenTables(t *testing.T) {
+	got := goldenTables()
+	path := filepath.Join("testdata", "golden_tables.txt")
+
+	if *updateGolden {
+		ids := make([]string, 0, len(got))
+		for id := range got {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		var b strings.Builder
+		b.WriteString("# SHA-256 of each rendered E-table at 2 seeds; regenerate with: go test ./internal/experiments -run TestGoldenTables -update\n")
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%s %s\n", id, got[id])
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden table hashes to %s", len(got), path)
+		return
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("golden table missing (generate with -update): %v", err)
+	}
+	defer f.Close()
+	want := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for id, h := range got {
+		w, ok := want[id]
+		if !ok {
+			t.Errorf("%s: no pinned hash (regenerate with -update)", id)
+			continue
+		}
+		if h != w {
+			t.Errorf("%s: table hash %s… != pinned %s… — experiment output changed", id, h[:16], w[:16])
+		}
+	}
+}

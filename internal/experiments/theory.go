@@ -211,11 +211,7 @@ func E3Reduction(seeds int) *Table {
 			Policy:  rfPolicy,
 			StopWhen: func() func(*sim.Trace) bool {
 				return func(tr *sim.Trace) bool {
-					last := model.EmptySet()
-					for _, d := range tr.Decisions(maxInst - 1) {
-						last = last.Add(d.P)
-					}
-					return tr.Pattern.Correct().SubsetOf(last)
+					return tr.Pattern.Correct().SubsetOf(tr.DecidedSet(maxInst - 1))
 				}
 			},
 		}
@@ -307,7 +303,7 @@ func E4TRB(seeds int) *Table {
 				return pat
 			},
 			Policy:   rfPolicy,
-			StopWhen: func() func(*sim.Trace) bool { return trbAllDelivered(waves) },
+			StopWhen: func() func(*sim.Trace) bool { return trb.AllDelivered(waves) },
 		}
 		stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) runStat {
 			if r.Err != nil {
@@ -344,24 +340,6 @@ func E4TRB(seeds int) *Table {
 	}
 	t.Verdict = fmt.Sprintf("TRB solved with unbounded crashes and emulates P back: %s", mark(ok))
 	return t
-}
-
-func trbAllDelivered(waves int) func(*sim.Trace) bool {
-	return func(tr *sim.Trace) bool {
-		dels := trb.Deliveries(tr)
-		correct := tr.Pattern.Correct()
-		for init := 1; init <= tr.N; init++ {
-			for k := 0; k < waves; k++ {
-				m := dels[trb.InstanceID(model.ProcessID(init), k)]
-				for _, p := range correct.Slice() {
-					if _, okDel := m[p]; !okDel {
-						return false
-					}
-				}
-			}
-		}
-		return true
-	}
 }
 
 // E5Marabout demonstrates §6.1 and §3.2.2.
@@ -478,7 +456,7 @@ func E6PartialPerfect(seeds int) *Table {
 		Name: "E6-adversarial", N: expN,
 		Automaton: consensus.PartialOrder{Proposals: props},
 		Oracle:    fd.PartiallyPerfect{Delay: 2}, Horizon: 20000,
-		Pattern:   func() *model.FailurePattern { return model.MustPattern(expN) },
+		Pattern: func() *model.FailurePattern { return model.MustPattern(expN) },
 		Policy: func() sim.Policy {
 			return &sim.DelayPolicy{Target: model.NewProcessSet(1), Until: 20001}
 		},

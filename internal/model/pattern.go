@@ -17,6 +17,11 @@ import (
 type FailurePattern struct {
 	n     int
 	crash [MaxProcesses + 1]Time // crash[p] = crash time, NoCrash if correct
+	// onCrash, when non-nil, observes every successful Crash call. The
+	// simulator registers a hook here so it can keep its cached alive
+	// set current without rescanning the pattern every tick; the hook
+	// is an observer only and must not mutate the pattern.
+	onCrash func(p ProcessID, t Time)
 }
 
 // NewFailurePattern returns the failure-free pattern over n processes.
@@ -58,7 +63,19 @@ func (f *FailurePattern) Crash(p ProcessID, t Time) error {
 		return fmt.Errorf("model: %v already crashed at %d (crash-stop: no recovery)", p, f.crash[p])
 	}
 	f.crash[p] = t
+	if f.onCrash != nil {
+		f.onCrash(p, t)
+	}
 	return nil
+}
+
+// SetCrashHook registers fn to be called after every successful Crash,
+// replacing any previous hook; nil unregisters. At most one hook is
+// held at a time — the intended owner is the engine of the run
+// currently driving the pattern, which registers on start and
+// unregisters when the run ends.
+func (f *FailurePattern) SetCrashHook(fn func(p ProcessID, t Time)) {
+	f.onCrash = fn
 }
 
 // MustCrash is Crash that panics on error, for tests and examples.
@@ -124,9 +141,11 @@ func (f *FailurePattern) Faulty() ProcessSet {
 	return AllProcesses(f.n).Diff(f.Correct())
 }
 
-// Clone returns an independent copy of F.
+// Clone returns an independent copy of F. Crash hooks are not copied:
+// they belong to the run driving the original pattern.
 func (f *FailurePattern) Clone() *FailurePattern {
 	cp := *f
+	cp.onCrash = nil
 	return &cp
 }
 
@@ -136,6 +155,7 @@ func (f *FailurePattern) Clone() *FailurePattern {
 // through t" used by the realism predicate of §3.1.
 func (f *FailurePattern) PrefixClone(t Time) *FailurePattern {
 	cp := *f
+	cp.onCrash = nil
 	for p := 1; p <= f.n; p++ {
 		if cp.crash[p] > t {
 			cp.crash[p] = NoCrash

@@ -19,9 +19,11 @@ type Config struct {
 	// Oracle is the failure detector D.
 	Oracle fd.Oracle
 	// Pattern is the failure pattern F. The engine uses it in place so
-	// adversarial hooks may extend it with crashes mid-run; pass a
-	// Clone if the caller needs the original preserved. Nil means
-	// failure-free.
+	// adversarial hooks may extend it with crashes mid-run, and it
+	// registers a crash hook on it for the duration of the run — so a
+	// pattern must never be shared with a concurrently executing run,
+	// even fully scripted; pass a Clone if the caller needs the
+	// original preserved. Nil means failure-free.
 	Pattern *model.FailurePattern
 	// Horizon bounds the run length in global-clock ticks. There is
 	// exactly one step per tick, so Horizon is also the step budget.
@@ -33,12 +35,54 @@ type Config struct {
 	// fresh FairPolicy.
 	Policy Policy
 	// StopWhen, if non-nil, ends the run early once it returns true;
-	// it is evaluated after every step.
+	// it is evaluated after every step. Predicates should use the
+	// trace's indexed queries (DecidedSet, ProtocolEvents, AliveNow) —
+	// they are O(1) per call, keeping the whole run O(steps).
 	StopWhen func(*Trace) bool
 	// AfterStep, if non-nil, is invoked after every recorded step; the
 	// adversarial experiments use it to observe decisions and crash
 	// processes through the Run handle.
 	AfterStep func(*Run, *EventRecord)
+}
+
+// msgQueue is one destination's slice of the message buffer: a slice
+// with a head offset, so removing the oldest pending message — the
+// pick every fair policy makes almost every step — is O(1) instead of
+// the O(m) splice of a plain slice. Sending order is observable
+// through the Policy interface, so removal must preserve it: picking
+// index i shifts the i older messages up one slot (O(i), i typically
+// 0) rather than splicing the m−i younger ones down.
+type msgQueue struct {
+	buf  []*Message
+	head int
+}
+
+// view returns the pending messages in sending order.
+func (q *msgQueue) view() []*Message { return q.buf[q.head:] }
+
+// push appends a newly sent message.
+func (q *msgQueue) push(m *Message) { q.buf = append(q.buf, m) }
+
+// remove extracts the message at index i of view(), preserving order.
+func (q *msgQueue) remove(i int) *Message {
+	j := q.head + i
+	m := q.buf[j]
+	copy(q.buf[q.head+1:j+1], q.buf[q.head:j])
+	q.buf[q.head] = nil
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		q.buf = q.buf[:0]
+		q.head = 0
+	case q.head >= 256 && q.head*2 >= len(q.buf):
+		n := copy(q.buf, q.buf[q.head:])
+		for k := n; k < len(q.buf); k++ {
+			q.buf[k] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return m
 }
 
 // Run is a live run handle passed to AfterStep hooks.
@@ -48,10 +92,29 @@ type Run struct {
 	rng     *rand.Rand
 	pattern *model.FailurePattern
 	procs   []Process
-	pending [][]*Message // pending[p] = buffered messages to p
+	pending []msgQueue // pending[p] = buffered messages to p
 	trace   *Trace
 	nextMsg int64
 	lastEv  []int // last event index per process, -1 initially
+
+	// Alive-set cache: rebuilt only when a crash takes effect, never
+	// per tick. aliveList is sorted by ID (the Policy contract);
+	// nextCrash is the earliest crash time among its members, kept
+	// current by the pattern's crash hook when adversarial hooks
+	// extend F mid-run.
+	aliveList []model.ProcessID
+	aliveSet  model.ProcessSet
+	nextCrash model.Time
+
+	// Allocation arenas: messages and per-event send slices are carved
+	// from chunks so the per-step allocation count stays flat (they
+	// were the top allocators under -benchmem before pooling). Chunks
+	// start small and grow geometrically, so short StopWhen runs don't
+	// pay for capacity only horizon-length runs use.
+	msgArena  []Message
+	msgChunk  int
+	sendArena []*Message
+	sendChunk int
 }
 
 // Now returns the current global time.
@@ -78,10 +141,75 @@ var (
 	ErrNoAliveProcess = errors.New("sim: all processes crashed")
 )
 
+// rebuildAlive recomputes the alive cache from scratch: members of
+// Ω \ F(t) in ID order, and the earliest upcoming crash among them.
+func (r *Run) rebuildAlive(t model.Time) {
+	r.aliveList = r.aliveList[:0]
+	r.aliveSet = model.EmptySet()
+	r.nextCrash = model.NoCrash
+	for p := 1; p <= r.cfg.N; p++ {
+		id := model.ProcessID(p)
+		if !r.pattern.Alive(id, t) {
+			continue
+		}
+		r.aliveList = append(r.aliveList, id)
+		r.aliveSet = r.aliveSet.Add(id)
+		if ct, crashed := r.pattern.CrashTime(id); crashed && ct < r.nextCrash {
+			r.nextCrash = ct
+		}
+	}
+	r.trace.setAlive(r.aliveSet)
+}
+
+// refreshAlive updates the alive cache iff a crash has taken effect by
+// time t; otherwise it is O(1). The pattern's crash hook lowers
+// nextCrash when an AfterStep adversary extends F mid-run, so scripted
+// and adversarial crashes both land here.
+func (r *Run) refreshAlive(t model.Time) {
+	if t >= r.nextCrash {
+		r.rebuildAlive(t)
+	}
+}
+
+// allocMsg carves one Message from the run's arena.
+func (r *Run) allocMsg() *Message {
+	if len(r.msgArena) == 0 {
+		if r.msgChunk == 0 {
+			r.msgChunk = 32
+		} else if r.msgChunk < 1024 {
+			r.msgChunk *= 4
+		}
+		r.msgArena = make([]Message, r.msgChunk)
+	}
+	m := &r.msgArena[0]
+	r.msgArena = r.msgArena[1:]
+	return m
+}
+
+// allocSends carves a zero-length, capacity-n pointer slice from the
+// run's arena for one event's Sends.
+func (r *Run) allocSends(n int) []*Message {
+	if n > len(r.sendArena) {
+		if r.sendChunk == 0 {
+			r.sendChunk = 64
+		} else if r.sendChunk < 2048 {
+			r.sendChunk *= 4
+		}
+		size := r.sendChunk
+		if n > size {
+			size = n
+		}
+		r.sendArena = make([]*Message, size)
+	}
+	s := r.sendArena[0:0:n]
+	r.sendArena = r.sendArena[n:]
+	return s
+}
+
 // Execute runs the configured algorithm and returns the recorded
 // trace. The returned error is non-nil only for configuration
 // problems; a run in which all processes crash ends normally with the
-// trace produced so far and Stopped = StopQuiescent.
+// trace produced so far and Stopped = StopAllCrashed.
 func Execute(cfg Config) (*Trace, error) {
 	if err := model.ValidateN(cfg.N); err != nil {
 		return nil, err
@@ -107,15 +235,24 @@ func Execute(cfg Config) (*Trace, error) {
 		policy = &FairPolicy{}
 	}
 
+	// Seed the schedule's capacity modestly: StopWhen runs often end
+	// orders of magnitude before the horizon, so sizing to the horizon
+	// would waste the whole block; growth beyond this is amortized by
+	// append's doubling.
+	eventCap := int(cfg.Horizon)
+	if eventCap > 512 {
+		eventCap = 512
+	}
 	r := &Run{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		pattern: pattern,
 		procs:   make([]Process, cfg.N+1),
-		pending: make([][]*Message, cfg.N+1),
+		pending: make([]msgQueue, cfg.N+1),
 		lastEv:  make([]int, cfg.N+1),
 		trace: &Trace{
 			N:       cfg.N,
+			Events:  make([]EventRecord, 0, eventCap),
 			History: model.NewHistory(cfg.N),
 			Pattern: pattern,
 			byProc:  make(map[model.ProcessID][]int, cfg.N),
@@ -127,33 +264,43 @@ func Execute(cfg Config) (*Trace, error) {
 		r.lastEv[p] = -1
 	}
 
-	alive := make([]model.ProcessID, 0, cfg.N)
+	// The alive cache is rebuilt only when a crash takes effect; the
+	// pattern hook catches crashes injected mid-run by AfterStep
+	// adversaries. The hook is an engine implementation detail, so it
+	// is removed again however the run ends.
+	pattern.SetCrashHook(func(_ model.ProcessID, t model.Time) {
+		if t < r.nextCrash {
+			r.nextCrash = t
+		}
+	})
+	defer pattern.SetCrashHook(nil)
+	r.rebuildAlive(1)
+
 	for t := model.Time(1); t <= cfg.Horizon; t++ {
 		r.now = t
-		alive = alive[:0]
-		for p := 1; p <= cfg.N; p++ {
-			if pattern.Alive(model.ProcessID(p), t) {
-				alive = append(alive, model.ProcessID(p))
-			}
-		}
-		if len(alive) == 0 {
-			r.finish(StopQuiescent)
+		r.refreshAlive(t)
+		if len(r.aliveList) == 0 {
+			// The refresh above cached the (empty) alive set of the
+			// stop tick, one past the last event; restore the trace's
+			// documented AliveNow contract of Ω \ F(MaxTime).
+			r.trace.setAlive(r.pattern.AliveAt(r.trace.MaxTime()))
+			r.finish(StopAllCrashed)
 			return r.trace, nil
 		}
 
-		p := policy.NextProcess(alive, t, r.rng)
+		p := policy.NextProcess(r.aliveList, t, r.rng)
 		if !pattern.Alive(p, t) {
 			return nil, fmt.Errorf("sim: policy scheduled crashed process %v at t=%d", p, t)
 		}
 
 		// (1) receive a message or λ.
 		var msg *Message
-		if idx := policy.PickMessage(p, r.pending[p], t, r.rng); idx >= 0 {
-			if idx >= len(r.pending[p]) {
-				return nil, fmt.Errorf("sim: policy picked message %d of %d for %v", idx, len(r.pending[p]), p)
+		q := &r.pending[p]
+		if idx := policy.PickMessage(p, q.view(), t, r.rng); idx >= 0 {
+			if idx >= len(q.view()) {
+				return nil, fmt.Errorf("sim: policy picked message %d of %d for %v", idx, len(q.view()), p)
 			}
-			msg = r.pending[p][idx]
-			r.pending[p] = append(r.pending[p][:idx], r.pending[p][idx+1:]...)
+			msg = q.remove(idx)
 		}
 
 		// (2) query the failure-detector module.
@@ -172,28 +319,35 @@ func Execute(cfg Config) (*Trace, error) {
 			Events:       actions.Events,
 			PrevSameProc: r.lastEv[p],
 		}
-		for _, s := range actions.Sends {
-			if s.To < 1 || int(s.To) > cfg.N {
-				return nil, fmt.Errorf("sim: %v sent to out-of-range destination %v", p, s.To)
+		if len(actions.Sends) > 0 {
+			ev.Sends = r.allocSends(len(actions.Sends))
+			for _, s := range actions.Sends {
+				if s.To < 1 || int(s.To) > cfg.N {
+					return nil, fmt.Errorf("sim: %v sent to out-of-range destination %v", p, s.To)
+				}
+				m := r.allocMsg()
+				*m = Message{
+					ID:      r.nextMsg,
+					From:    p,
+					To:      s.To,
+					SentAt:  t,
+					SentBy:  ev.Index,
+					Payload: s.Payload,
+				}
+				r.nextMsg++
+				ev.Sends = append(ev.Sends, m)
+				r.pending[s.To].push(m)
 			}
-			m := &Message{
-				ID:      r.nextMsg,
-				From:    p,
-				To:      s.To,
-				SentAt:  t,
-				SentBy:  ev.Index,
-				Payload: s.Payload,
-			}
-			r.nextMsg++
-			ev.Sends = append(ev.Sends, m)
-			r.pending[s.To] = append(r.pending[s.To], m)
 		}
-		r.trace.Events = append(r.trace.Events, ev)
-		r.trace.byProc[p] = append(r.trace.byProc[p], ev.Index)
-		r.lastEv[p] = ev.Index
+		recorded := r.trace.appendEvent(ev)
+		r.lastEv[p] = recorded.Index
 
 		if cfg.AfterStep != nil {
-			cfg.AfterStep(r, &r.trace.Events[ev.Index])
+			cfg.AfterStep(r, recorded)
+			// An adversarial hook may have crashed processes at the
+			// current tick; refresh so StopWhen sees the same alive
+			// set a fresh pattern scan would report.
+			r.refreshAlive(t)
 		}
 		if cfg.StopWhen != nil && cfg.StopWhen(r.trace) {
 			r.finish(StopCondition)
@@ -208,20 +362,17 @@ func Execute(cfg Config) (*Trace, error) {
 func (r *Run) finish(reason StopReason) {
 	r.trace.Stopped = reason
 	for p := 1; p <= r.cfg.N; p++ {
-		r.trace.Undelivered = append(r.trace.Undelivered, r.pending[p]...)
+		r.trace.Undelivered = append(r.trace.Undelivered, r.pending[p].view()...)
 	}
 }
 
 // AllDecided returns a StopWhen predicate: every process alive at the
 // current end of the trace has emitted a decide event for the given
-// instance.
+// instance. Both sides of the comparison are O(1) cached sets, so the
+// predicate adds constant work per step.
 func AllDecided(instance int) func(*Trace) bool {
 	return func(tr *Trace) bool {
-		decided := model.EmptySet()
-		for _, d := range tr.Decisions(instance) {
-			decided = decided.Add(d.P)
-		}
-		return tr.Pattern.AliveAt(tr.MaxTime()).SubsetOf(decided)
+		return tr.AliveNow().SubsetOf(tr.DecidedSet(instance))
 	}
 }
 
@@ -230,10 +381,6 @@ func AllDecided(instance int) func(*Trace) bool {
 // Use with patterns whose crashes are fully scripted up front.
 func CorrectDecided(instance int) func(*Trace) bool {
 	return func(tr *Trace) bool {
-		decided := model.EmptySet()
-		for _, d := range tr.Decisions(instance) {
-			decided = decided.Add(d.P)
-		}
-		return tr.Pattern.Correct().SubsetOf(decided)
+		return tr.Pattern.Correct().SubsetOf(tr.DecidedSet(instance))
 	}
 }

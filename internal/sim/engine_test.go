@@ -189,8 +189,8 @@ func TestAllCrashedEndsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Stopped != StopQuiescent {
-		t.Fatalf("Stopped = %v, want quiescent", tr.Stopped)
+	if tr.Stopped != StopAllCrashed {
+		t.Fatalf("Stopped = %v, want all-crashed", tr.Stopped)
 	}
 	if tr.MaxTime() >= 20 {
 		t.Fatalf("events recorded at t=%d after global crash at 20", tr.MaxTime())

@@ -165,7 +165,7 @@ func (fp *FaultyPolicy) Dropped(m *Message) bool {
 	if fp.Faults.DropPct <= 0 {
 		return false
 	}
-	return mix64(fp.seed^uint64(m.ID)) % 100 < uint64(fp.Faults.DropPct)
+	return mix64(fp.seed^uint64(m.ID))%100 < uint64(fp.Faults.DropPct)
 }
 
 // ExtraDelay returns the extra latency the plan imposes on m.

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"realisticfd/internal/fd"
+	"realisticfd/internal/model"
+)
+
+// naiveDecisions is the pre-index implementation of Trace.Decisions: a
+// full rescan of the schedule. The fuzzer holds the incremental index
+// to exactly this.
+func naiveDecisions(tr *Trace, instance int) []DecisionEvent {
+	var out []DecisionEvent
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		for _, pe := range ev.Events {
+			if pe.Kind == KindDecide && (instance == AnyInstance || pe.Instance == instance) {
+				out = append(out, DecisionEvent{
+					EventIndex: i, P: ev.P, T: ev.T,
+					Instance: pe.Instance, Value: pe.Value,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// naiveProtocolEvents is the pre-index implementation of
+// Trace.ProtocolEvents.
+func naiveProtocolEvents(tr *Trace, kind EventKind) []LocatedEvent {
+	var out []LocatedEvent
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		for _, pe := range ev.Events {
+			if pe.Kind == kind {
+				out = append(out, LocatedEvent{EventIndex: i, P: ev.P, T: ev.T, Event: pe})
+			}
+		}
+	}
+	return out
+}
+
+// naiveDecidedSet is the pre-index decided-set computation.
+func naiveDecidedSet(tr *Trace, instance int) model.ProcessSet {
+	s := model.EmptySet()
+	for _, d := range naiveDecisions(tr, instance) {
+		s = s.Add(d.P)
+	}
+	return s
+}
+
+// fuzzAutomata are the protocol shapes the fuzzer schedules: message
+// noise, deliver events, a causal chain with one decision, and
+// multi-instance decisions.
+func fuzzAutomaton(kind uint8, n int) Automaton {
+	switch kind % 4 {
+	case 0:
+		return noisyAutomaton{}
+	case 1:
+		return broadcastAutomaton{}
+	case 2:
+		return chainAutomaton{k: n - 1}
+	default:
+		return multiInstanceDecider{}
+	}
+}
+
+func fuzzPolicy(kind uint8, dropPct, extraDelay uint8) Policy {
+	switch kind % 5 {
+	case 0:
+		return &FairPolicy{}
+	case 1:
+		return &RandomFairPolicy{}
+	case 2:
+		return &DelayPolicy{Target: model.NewProcessSet(2), Until: 90}
+	case 3:
+		return &MuzzlePolicy{Inner: &FairPolicy{}, Muzzled: model.NewProcessSet(1, 3), Until: 60}
+	default:
+		return &FaultyPolicy{Inner: &RandomFairPolicy{}, Faults: LinkFaults{
+			DropPct:       int(dropPct % 40),
+			MaxExtraDelay: model.Time(extraDelay % 8),
+			Partitions: []Partition{
+				{Side: model.NewProcessSet(1, 2), From: 20, Until: model.Time(20 + extraDelay)},
+			},
+		}}
+	}
+}
+
+// FuzzEngineDeterminism fuzzes (seed, faults, horizon, policy,
+// automaton, crash script) configurations and asserts the two
+// invariants the whole reproduction rests on:
+//
+//  1. Determinism: executing the same config twice yields
+//     byte-identical digests (the replay property of DESIGN.md §5).
+//  2. Index soundness: every incremental trace index agrees with a
+//     naive full-trace rescan, and the engine's cached alive set
+//     agrees with a fresh pattern scan.
+func FuzzEngineDeterminism(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(1), uint8(10), uint8(4), uint16(300), uint8(0), uint8(0), false)
+	f.Add(int64(42), uint8(8), uint8(3), uint8(0), uint8(0), uint16(800), uint8(1), uint8(1), true)
+	f.Add(int64(7), uint8(5), uint8(0), uint8(20), uint8(6), uint16(150), uint8(4), uint8(2), false)
+	f.Add(int64(99), uint8(11), uint8(7), uint8(35), uint8(3), uint16(1500), uint8(3), uint8(3), true)
+	f.Add(int64(-3), uint8(4), uint8(4), uint8(5), uint8(7), uint16(60), uint8(2), uint8(1), false)
+
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, crashes, dropPct, extraDelay uint8, horizonRaw uint16, policyKind, autoKind uint8, stop bool) {
+		n := 4 + int(nRaw%8)                       // 4..11
+		horizon := model.Time(1 + horizonRaw%2000) // 1..2000
+
+		build := func() Config {
+			pat := model.MustPattern(n)
+			for i := 0; i < int(crashes%uint8(n+1)); i++ { // up to n: all-crashed runs included
+				// Deterministic crash script derived from the fuzz input
+				// (uint64 keeps the modulo non-negative for any seed).
+				p := model.ProcessID(1 + int((uint64(i)+uint64(seed))%uint64(n)))
+				if _, dead := pat.CrashTime(p); dead {
+					continue
+				}
+				pat.MustCrash(p, model.Time(1+(i*37+int(horizonRaw))%int(horizon+10)))
+			}
+			cfg := Config{
+				N:         n,
+				Automaton: fuzzAutomaton(autoKind, n),
+				Oracle:    fd.Perfect{Delay: 2},
+				Pattern:   pat,
+				Horizon:   horizon,
+				Seed:      seed,
+				Policy:    fuzzPolicy(policyKind, dropPct, extraDelay),
+			}
+			if stop {
+				cfg.StopWhen = AllDecided(0)
+			}
+			return cfg
+		}
+
+		tr1, err := Execute(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := Execute(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1, d2 := tr1.Digest(), tr2.Digest(); d1 != d2 {
+			t.Fatalf("replay diverged: %s vs %s", d1[:16], d2[:16])
+		}
+
+		// Index soundness against the naive rescan.
+		for _, inst := range []int{AnyInstance, 0, 1, 7} {
+			want := naiveDecisions(tr1, inst)
+			got := tr1.Decisions(inst)
+			if len(want) != len(got) || (len(want) > 0 && !reflect.DeepEqual(want, got)) {
+				t.Fatalf("Decisions(%d): index %v != rescan %v", inst, got, want)
+			}
+			if ws, gs := naiveDecidedSet(tr1, inst), tr1.DecidedSet(inst); !ws.Equal(gs) {
+				t.Fatalf("DecidedSet(%d): index %v != rescan %v", inst, gs, ws)
+			}
+			if wc, gc := len(want), tr1.DecisionCount(inst); wc != gc {
+				t.Fatalf("DecisionCount(%d): index %d != rescan %d", inst, gc, wc)
+			}
+		}
+		for _, kind := range []EventKind{KindDecide, KindDeliver, KindFDOutput, KindViewChange} {
+			want := naiveProtocolEvents(tr1, kind)
+			got := tr1.ProtocolEvents(kind)
+			if len(want) != len(got) || (len(want) > 0 && !reflect.DeepEqual(want, got)) {
+				t.Fatalf("ProtocolEvents(%v): index has %d events, rescan %d", kind, len(got), len(want))
+			}
+		}
+
+		// The cached alive set must agree with a fresh pattern scan at
+		// the trace's end time.
+		if want, got := tr1.Pattern.AliveAt(tr1.MaxTime()), tr1.AliveNow(); !want.Equal(got) {
+			t.Fatalf("AliveNow = %v, pattern scan says %v", got, want)
+		}
+	})
+}

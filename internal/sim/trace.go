@@ -41,6 +41,70 @@ type Trace struct {
 	Stopped StopReason
 	// byProc[p] lists event indices of process p in order.
 	byProc map[model.ProcessID][]int
+
+	// Incremental indexes, maintained by appendEvent as the engine
+	// records steps so that the query API below never rescans the
+	// schedule. They are what makes per-step cost O(1) amortized even
+	// under StopWhen predicates that query the trace after every step
+	// (DESIGN.md §6).
+	decisions  []DecisionEvent              // every decide, schedule order
+	decByInst  map[int][]DecisionEvent      // decides per instance, schedule order
+	evByKind   map[EventKind][]LocatedEvent // protocol events per kind, schedule order
+	decided    map[int]model.ProcessSet     // processes that decided an instance
+	decidedAny model.ProcessSet             // processes that decided any instance
+
+	// alive caches Ω \ F(MaxTime): the engine keeps it current,
+	// updating only when a crash takes effect. aliveValid guards
+	// hand-built traces, which fall back to a pattern scan.
+	alive      model.ProcessSet
+	aliveValid bool
+}
+
+// appendEvent records ev and updates every incremental index. The
+// engine is the only writer; ev.Index must equal len(tr.Events).
+func (tr *Trace) appendEvent(ev EventRecord) *EventRecord {
+	tr.Events = append(tr.Events, ev)
+	tr.byProc[ev.P] = append(tr.byProc[ev.P], ev.Index)
+	for _, pe := range ev.Events {
+		if tr.evByKind == nil {
+			tr.evByKind = make(map[EventKind][]LocatedEvent)
+		}
+		tr.evByKind[pe.Kind] = append(tr.evByKind[pe.Kind],
+			LocatedEvent{EventIndex: ev.Index, P: ev.P, T: ev.T, Event: pe})
+		if pe.Kind == KindDecide {
+			tr.decisions = append(tr.decisions, DecisionEvent{
+				EventIndex: ev.Index, P: ev.P, T: ev.T,
+				Instance: pe.Instance, Value: pe.Value,
+			})
+			if tr.decByInst == nil {
+				tr.decByInst = make(map[int][]DecisionEvent)
+				tr.decided = make(map[int]model.ProcessSet)
+			}
+			tr.decByInst[pe.Instance] = append(tr.decByInst[pe.Instance], tr.decisions[len(tr.decisions)-1])
+			tr.decided[pe.Instance] = tr.decided[pe.Instance].Add(ev.P)
+			tr.decidedAny = tr.decidedAny.Add(ev.P)
+		}
+	}
+	return &tr.Events[len(tr.Events)-1]
+}
+
+// setAlive records the engine's current alive set Ω \ F(now).
+func (tr *Trace) setAlive(s model.ProcessSet) {
+	tr.alive = s
+	tr.aliveValid = true
+}
+
+// AliveNow returns Ω \ F(MaxTime), the processes still alive at the
+// current end of the trace. For engine-built traces this is a cached
+// set maintained on crash events, not a pattern scan.
+func (tr *Trace) AliveNow() model.ProcessSet {
+	if tr.aliveValid {
+		return tr.alive
+	}
+	if tr.Pattern == nil {
+		return model.EmptySet()
+	}
+	return tr.Pattern.AliveAt(tr.MaxTime())
 }
 
 // StopReason tells why a run ended.
@@ -52,10 +116,16 @@ const (
 	StopHorizon StopReason = iota + 1
 	// StopCondition: the StopWhen predicate fired.
 	StopCondition
-	// StopQuiescent: no process had anything to do and no messages
-	// were pending to alive processes (protocol-level quiescence; the
-	// engine still counts this as a completed run).
+	// StopQuiescent is reserved for protocol-level quiescence detection
+	// (no process has anything to do and no messages are pending to
+	// alive processes). The engine does not currently detect it; the
+	// value is kept so existing digests and the numbering of
+	// StopAllCrashed stay stable.
 	StopQuiescent
+	// StopAllCrashed: every process crashed, so no step can be taken.
+	// Historically conflated with StopQuiescent, but an all-crashed
+	// system is not quiescent — it is dead.
+	StopAllCrashed
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +137,8 @@ func (s StopReason) String() string {
 		return "condition"
 	case StopQuiescent:
 		return "quiescent"
+	case StopAllCrashed:
+		return "all-crashed"
 	default:
 		return fmt.Sprintf("StopReason(%d)", int(s))
 	}
@@ -77,20 +149,31 @@ func (tr *Trace) EventsOf(p model.ProcessID) []int { return tr.byProc[p] }
 
 // Decisions returns every decide event in the trace for the given
 // instance (use AnyInstance for all instances), in schedule order.
+// The returned slice is served from the trace's incremental index —
+// O(1), no rescan — and is owned by the trace: callers must not
+// mutate it.
 func (tr *Trace) Decisions(instance int) []DecisionEvent {
-	var out []DecisionEvent
-	for i := range tr.Events {
-		ev := &tr.Events[i]
-		for _, pe := range ev.Events {
-			if pe.Kind == KindDecide && (instance == AnyInstance || pe.Instance == instance) {
-				out = append(out, DecisionEvent{
-					EventIndex: i, P: ev.P, T: ev.T,
-					Instance: pe.Instance, Value: pe.Value,
-				})
-			}
-		}
+	if instance == AnyInstance {
+		return tr.decisions
 	}
-	return out
+	return tr.decByInst[instance]
+}
+
+// DecisionCount returns the number of decide events of the given
+// instance (AnyInstance for all) in O(1).
+func (tr *Trace) DecisionCount(instance int) int {
+	return len(tr.Decisions(instance))
+}
+
+// DecidedSet returns the set of processes that have emitted a decide
+// event for the given instance (AnyInstance for any instance), in
+// O(1). This is the query StopWhen predicates evaluate after every
+// step, so it must not rescan the schedule.
+func (tr *Trace) DecidedSet(instance int) model.ProcessSet {
+	if instance == AnyInstance {
+		return tr.decidedAny
+	}
+	return tr.decided[instance]
 }
 
 // AnyInstance selects events of every instance in trace queries.
@@ -106,18 +189,14 @@ type DecisionEvent struct {
 }
 
 // ProtocolEvents returns all protocol events of a kind (with their
-// event records), in schedule order.
+// event records), in schedule order. The slice is served from the
+// trace's incremental index — O(1), no rescan — and is owned by the
+// trace: callers must not mutate it. Because events only ever append,
+// a per-run consumer may keep an offset into the slice and process
+// only the suffix that arrived since its last call; the TRB stop
+// predicate does exactly that.
 func (tr *Trace) ProtocolEvents(kind EventKind) []LocatedEvent {
-	var out []LocatedEvent
-	for i := range tr.Events {
-		ev := &tr.Events[i]
-		for _, pe := range ev.Events {
-			if pe.Kind == kind {
-				out = append(out, LocatedEvent{EventIndex: i, P: ev.P, T: ev.T, Event: pe})
-			}
-		}
-	}
-	return out
+	return tr.evByKind[kind]
 }
 
 // LocatedEvent is a protocol event located in the trace.

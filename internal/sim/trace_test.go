@@ -31,6 +31,7 @@ func TestStopReasonString(t *testing.T) {
 		StopHorizon:    "horizon",
 		StopCondition:  "condition",
 		StopQuiescent:  "quiescent",
+		StopAllCrashed: "all-crashed",
 		StopReason(42): "StopReason(42)",
 	}
 	for r, want := range cases {
@@ -74,6 +75,64 @@ func TestCausalPastOutOfRange(t *testing.T) {
 	}
 	if got := tr.CausalPast(0); got != nil {
 		t.Errorf("CausalPast(0) on empty trace = %v", got)
+	}
+}
+
+func TestUndeliveredToEmptyTrace(t *testing.T) {
+	t.Parallel()
+	tr := &Trace{N: 4}
+	for p := model.ProcessID(1); p <= 4; p++ {
+		if got := tr.UndeliveredTo(p); got != nil {
+			t.Errorf("UndeliveredTo(%v) on empty trace = %v, want nil", p, got)
+		}
+	}
+}
+
+func TestUndeliveredToSingleEventTrace(t *testing.T) {
+	t.Parallel()
+	// One tick: p1 broadcasts to everyone, nothing is delivered.
+	tr, err := Execute(Config{
+		N: 4, Automaton: broadcastAutomaton{}, Oracle: fd.Perfect{}, Horizon: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(tr.Events))
+	}
+	if len(tr.Undelivered) != 4 {
+		t.Fatalf("undelivered = %d, want the full broadcast (4)", len(tr.Undelivered))
+	}
+	for p := model.ProcessID(1); p <= 4; p++ {
+		ms := tr.UndeliveredTo(p)
+		if len(ms) != 1 {
+			t.Fatalf("UndeliveredTo(%v) = %d messages, want 1", p, len(ms))
+		}
+		if ms[0].To != p {
+			t.Fatalf("UndeliveredTo(%v) returned message to %v", p, ms[0].To)
+		}
+	}
+	if got := tr.UndeliveredTo(model.ProcessID(9)); got != nil {
+		t.Errorf("UndeliveredTo(out-of-range) = %v, want nil", got)
+	}
+}
+
+func TestContributorsSingleEventTrace(t *testing.T) {
+	t.Parallel()
+	// A single λ step has an empty causal past beyond itself: the
+	// contributor set is exactly the stepping process.
+	tr, err := Execute(Config{
+		N: 4, Automaton: broadcastAutomaton{}, Oracle: fd.Perfect{}, Horizon: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contr := tr.Contributors(0)
+	if want := model.NewProcessSet(tr.Events[0].P); !contr.Equal(want) {
+		t.Fatalf("Contributors(0) = %v, want %v", contr, want)
+	}
+	if past := tr.CausalPast(0); len(past) != 1 || past[0] != 0 {
+		t.Fatalf("CausalPast(0) = %v, want [0]", past)
 	}
 }
 

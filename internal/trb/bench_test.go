@@ -15,7 +15,7 @@ func BenchmarkTRBWave(b *testing.B) {
 		tr, err := sim.Execute(sim.Config{
 			N: 5, Automaton: Broadcast{Waves: 1}, Oracle: fd.Perfect{Delay: 2},
 			Pattern: pat, Horizon: 60000, Seed: int64(i),
-			StopWhen: allDelivered(1),
+			StopWhen: AllDelivered(1),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -30,7 +30,7 @@ func BenchmarkDeliveriesExtraction(b *testing.B) {
 	tr, err := sim.Execute(sim.Config{
 		N: 5, Automaton: Broadcast{Waves: 3}, Oracle: fd.Perfect{Delay: 2},
 		Pattern: model.MustPattern(5), Horizon: 60000, Seed: 1,
-		StopWhen: allDelivered(3),
+		StopWhen: AllDelivered(3),
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -43,6 +43,59 @@ func Deliveries(tr *sim.Trace) map[int]map[model.ProcessID]Delivery {
 	return out
 }
 
+// AllDelivered returns a per-run stop predicate: every correct
+// process has delivered every instance of every wave. It consumes the
+// trace's indexed deliver events incrementally — the closure keeps an
+// offset into the (append-only) slice served by
+// Trace.ProtocolEvents(KindDeliver) and a count of still-missing
+// (instance, deliverer) pairs, so each of the per-step evaluations
+// costs only the events that arrived since the last one. Use with
+// crash scripts fixed up front: the correct set is sampled once, on
+// the first evaluation.
+//
+// The returned predicate is stateful and single-use — construct a
+// fresh one for every run (unlike the stateless sim.AllDecided and
+// sim.CorrectDecided, reusing this one across runs would carry the
+// first run's progress into the second and stop it immediately).
+func AllDelivered(waves int) func(*sim.Trace) bool {
+	var (
+		inited   bool
+		seen     int
+		missing  int
+		correct  model.ProcessSet
+		required map[int]bool
+		got      map[int]model.ProcessSet
+	)
+	return func(tr *sim.Trace) bool {
+		if !inited {
+			inited = true
+			correct = tr.Pattern.Correct()
+			required = make(map[int]bool, tr.N*waves)
+			got = make(map[int]model.ProcessSet, tr.N*waves)
+			for init := 1; init <= tr.N; init++ {
+				for k := 0; k < waves; k++ {
+					required[InstanceID(model.ProcessID(init), k)] = true
+				}
+			}
+			missing = tr.N * waves * correct.Len()
+		}
+		dels := tr.ProtocolEvents(sim.KindDeliver)
+		for ; seen < len(dels); seen++ {
+			le := dels[seen]
+			if _, ok := le.Event.Value.(consensus.Value); !ok {
+				continue
+			}
+			id := le.Event.Instance
+			if !required[id] || !correct.Has(le.P) || got[id].Has(le.P) {
+				continue
+			}
+			got[id] = got[id].Add(le.P)
+			missing--
+		}
+		return missing == 0
+	}
+}
+
 // CheckAgreement verifies that for every instance, all deliverers
 // delivered the same value (property 2 of §5).
 func CheckAgreement(tr *sim.Trace) error {

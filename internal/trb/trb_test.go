@@ -10,26 +10,6 @@ import (
 	"realisticfd/internal/sim"
 )
 
-// allDelivered stops the run once every correct process delivered
-// every instance.
-func allDelivered(waves int) func(*sim.Trace) bool {
-	return func(tr *sim.Trace) bool {
-		dels := Deliveries(tr)
-		correct := tr.Pattern.Correct()
-		for init := 1; init <= tr.N; init++ {
-			for k := 0; k < waves; k++ {
-				m := dels[InstanceID(model.ProcessID(init), k)]
-				for _, p := range correct.Slice() {
-					if _, ok := m[p]; !ok {
-						return false
-					}
-				}
-			}
-		}
-		return true
-	}
-}
-
 func runTRB(t *testing.T, pat *model.FailurePattern, waves int, seed int64) *sim.Trace {
 	t.Helper()
 	tr, err := sim.Execute(sim.Config{
@@ -40,7 +20,7 @@ func runTRB(t *testing.T, pat *model.FailurePattern, waves int, seed int64) *sim
 		Horizon:   60000,
 		Seed:      seed,
 		Policy:    &sim.RandomFairPolicy{},
-		StopWhen:  allDelivered(waves),
+		StopWhen:  AllDelivered(waves),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +150,7 @@ func TestTRBCustomScript(t *testing.T) {
 		Pattern:   pat,
 		Horizon:   60000,
 		Seed:      1,
-		StopWhen:  allDelivered(waves),
+		StopWhen:  AllDelivered(waves),
 	})
 	if err != nil {
 		t.Fatal(err)
