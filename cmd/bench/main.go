@@ -1,14 +1,17 @@
 // Command bench runs the repository's benchmark suite in-process and
-// emits a machine-readable JSON report (BENCH_PR2.json by default),
+// emits a machine-readable JSON report (BENCH_PR6.json by default),
 // the artifact the CI benchmark job uploads per PR so the perf
 // trajectory of the simulator is tracked commit over commit.
 //
 // The suite mirrors the per-package -bench benchmarks (engine stepping,
 // consensus/TRB/abcast protocol runs, trace queries, the E8 experiment
 // table) and adds the large-scale configuration the ROADMAP points at:
-// an n=64 many-seed parallel sweep.
+// an n=64 many-seed streaming sweep. Benchmark names are stable across
+// flag settings — parameters that vary (like the sweep's seed count
+// under -quick) live in JSON fields, not in the name, so trajectory
+// tooling can join on the name across reports.
 //
-// Run with: go run ./cmd/bench [-out BENCH_PR2.json] [-quick]
+// Run with: go run ./cmd/bench [-out BENCH_PR6.json] [-quick]
 package main
 
 import (
@@ -60,9 +63,12 @@ func (p *busyProc) Step(in *sim.Message, _ model.ProcessSet, _ model.Time) sim.A
 	return acts
 }
 
-// result is one benchmark's measurement.
+// result is one benchmark's measurement. Seeds is set only for
+// sweep-shaped benchmarks whose workload size varies with -quick; the
+// name itself never encodes it.
 type result struct {
 	Name        string  `json:"name"`
+	Seeds       int     `json:"seeds,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -111,18 +117,20 @@ func mustRun(cfg sim.Config, wantCondition bool) *sim.Trace {
 // the JSON trajectory stays comparable to `go test -bench` numbers —
 // change them together or the tracked history breaks.
 func suite(quick bool) []struct {
-	name string
-	fn   func(*testing.B)
+	name  string
+	seeds int
+	fn    func(*testing.B)
 } {
 	sweepSeeds := 256
 	if quick {
 		sweepSeeds = 32
 	}
 	return []struct {
-		name string
-		fn   func(*testing.B)
+		name  string
+		seeds int
+		fn    func(*testing.B)
 	}{
-		{"sim/engine-steps-n8", func(b *testing.B) {
+		{"sim/engine-steps-n8", 0, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mustRun(sim.Config{
@@ -131,7 +139,7 @@ func suite(quick bool) []struct {
 				}, false)
 			}
 		}},
-		{"sim/causal-past", func(b *testing.B) {
+		{"sim/causal-past", 0, func(b *testing.B) {
 			tr := func() *sim.Trace {
 				tr, err := sim.Execute(sim.Config{
 					N: 8, Automaton: busyAutomaton{}, Oracle: fd.Perfect{},
@@ -149,7 +157,7 @@ func suite(quick bool) []struct {
 				_ = tr.CausalPast(last)
 			}
 		}},
-		{"consensus/sflooding-run", func(b *testing.B) {
+		{"consensus/sflooding-run", 0, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mustRun(sim.Config{
@@ -162,7 +170,7 @@ func suite(quick bool) []struct {
 				}, true)
 			}
 		}},
-		{"consensus/rotating-run", func(b *testing.B) {
+		{"consensus/rotating-run", 0, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mustRun(sim.Config{
@@ -175,7 +183,7 @@ func suite(quick bool) []struct {
 				}, true)
 			}
 		}},
-		{"trb/wave", func(b *testing.B) {
+		{"trb/wave", 0, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mustRun(sim.Config{
@@ -186,7 +194,7 @@ func suite(quick bool) []struct {
 				}, true)
 			}
 		}},
-		{"abcast/total-order", func(b *testing.B) {
+		{"abcast/total-order", 0, func(b *testing.B) {
 			sc := abcastScript(5, 2)
 			const expected = 5 * 10 // every process delivers all 10 messages
 			b.ReportAllocs()
@@ -201,13 +209,13 @@ func suite(quick bool) []struct {
 				}, true)
 			}
 		}},
-		{"experiments/e8-majority-crossover", func(b *testing.B) {
+		{"experiments/e8-majority-crossover", 0, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				experiments.E8MajorityCrossover(1)
 			}
 		}},
-		{fmt.Sprintf("sweep/n64-seeds%d", sweepSeeds), func(b *testing.B) {
+		{"sweep/n64", sweepSeeds, func(b *testing.B) {
 			sc := harness.Scenario{
 				Name: "bench-n64", N: 64,
 				Automaton: busyAutomaton{},
@@ -220,14 +228,10 @@ func suite(quick bool) []struct {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				digests := harness.Map(sc, harness.Seeds(sweepSeeds), 0, func(r harness.Result) string {
-					if r.Err != nil {
-						panic(fmt.Sprintf("bench: sweep run failed: %v", r.Err))
-					}
-					return r.Trace.Digest()
-				})
-				if len(digests) != sweepSeeds {
-					panic(fmt.Sprintf("bench: sweep produced %d results, want %d", len(digests), sweepSeeds))
+				st := harness.Reduce(sc, harness.Seeds(sweepSeeds), 0, harness.SweepReducer())
+				if st.Runs != int64(sweepSeeds) || st.Errors != 0 {
+					panic(fmt.Sprintf("bench: sweep folded %d runs (%d errors), want %d clean",
+						st.Runs, st.Errors, sweepSeeds))
 				}
 			}
 		}},
@@ -235,7 +239,7 @@ func suite(quick bool) []struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "path of the JSON report")
+	out := flag.String("out", "BENCH_PR6.json", "path of the JSON report")
 	quick := flag.Bool("quick", false, "smaller sweep sizes for local smoke runs")
 	flag.Parse()
 
@@ -249,6 +253,7 @@ func main() {
 		r := testing.Benchmark(bm.fn)
 		rep.Results = append(rep.Results, result{
 			Name:        bm.name,
+			Seeds:       bm.seeds,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),

@@ -1,0 +1,210 @@
+// Command sweep runs a streaming seed campaign: millions of seeded
+// runs folded into one SweepStats accumulator without ever retaining a
+// trace, with an optional JSON checkpoint so an interrupted campaign
+// resumes where it left off.
+//
+// Examples:
+//
+//	go run ./cmd/sweep -algo busy -n 64 -seeds 100000
+//	go run ./cmd/sweep -algo rotating -fd diamond-s -drop 15 -seeds 1000000 \
+//	    -checkpoint campaign.ckpt -out campaign.json
+//
+// Ctrl-C (SIGINT) stops the campaign cleanly: completed chunks are
+// already persisted in the checkpoint, and re-running the identical
+// command resumes from it. A finished checkpoint short-circuits — the
+// stored aggregate is reprinted without executing anything. The
+// checkpoint encodes the campaign identity (scenario parameters, seed
+// range, chunk size); changing any of them is rejected rather than
+// silently merged.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/fd"
+	"realisticfd/internal/harness"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+// busyAutomaton is the load-shaped workload shared with cmd/bench:
+// every process seeds one broadcast and re-broadcasts on every 8th
+// received message, keeping the message buffer full.
+type busyAutomaton struct{}
+
+type busyProc struct {
+	self model.ProcessID
+	n    int
+	seen int
+	sent bool
+}
+
+func (busyAutomaton) Spawn(self model.ProcessID, n int) sim.Process {
+	return &busyProc{self: self, n: n}
+}
+
+func (p *busyProc) Step(in *sim.Message, _ model.ProcessSet, _ model.Time) sim.Actions {
+	var acts sim.Actions
+	if !p.sent {
+		p.sent = true
+		acts.Sends = sim.Broadcast(p.n, "seed")
+	}
+	if in != nil {
+		p.seen++
+		if p.seen%8 == 0 {
+			acts.Sends = sim.Broadcast(p.n, "echo")
+		}
+	}
+	return acts
+}
+
+func main() {
+	var (
+		algo       = flag.String("algo", "busy", "workload: busy|sflooding|rotating")
+		oracle     = flag.String("fd", "perfect", "detector: perfect|diamond-s")
+		n          = flag.Int("n", 16, "system size")
+		crash      = flag.String("crash", "", "crash list, e.g. p2@40,p5@120")
+		horizon    = flag.Int64("horizon", 2000, "max global-clock ticks per run")
+		drop       = flag.Int("drop", 0, "message loss percentage (0..100)")
+		delay      = flag.Int64("delay", 0, "max extra per-message delay (ticks)")
+		from       = flag.Int64("from", 0, "first seed of the campaign")
+		seeds      = flag.Int64("seeds", 10000, "number of consecutive seeds")
+		chunk      = flag.Int("chunk", harness.DefaultChunkSize, "seeds per chunk (checkpoint granularity)")
+		parallel   = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+		checkpoint = flag.String("checkpoint", "", "JSON checkpoint path; resume by re-running the same command")
+		out        = flag.String("out", "", "write the final SweepStats JSON here (default: stdout)")
+	)
+	flag.Parse()
+
+	pat, err := parsePattern(*n, *crash)
+	if err != nil {
+		fatal(err)
+	}
+	sc := harness.Scenario{
+		// The name carries every campaign parameter: it is part of the
+		// checkpoint identity, so resuming with different faults or a
+		// different workload is rejected instead of merging garbage.
+		Name: fmt.Sprintf("sweep/%s/n=%d/fd=%s/h=%d/crash=%s/drop=%d/delay=%d",
+			*algo, *n, *oracle, *horizon, *crash, *drop, *delay),
+		N:       *n,
+		Horizon: model.Time(*horizon),
+		Pattern: func() *model.FailurePattern { return pat.Clone() },
+		Policy:  func() sim.Policy { return &sim.RandomFairPolicy{} },
+	}
+	switch *oracle {
+	case "perfect":
+		sc.Oracle = fd.Perfect{Delay: 2}
+	case "diamond-s":
+		sc.OracleFor = func(seed int64) fd.Oracle {
+			return fd.EventuallyStrong{GST: 100, Delay: 3, Seed: uint64(seed), FalseRate: 10}
+		}
+	default:
+		fatal(fmt.Errorf("unknown detector %q", *oracle))
+	}
+	switch *algo {
+	case "busy":
+		sc.Automaton = busyAutomaton{}
+	case "sflooding":
+		sc.Automaton = consensus.SFlooding{Proposals: consensus.DistinctProposals(*n)}
+		sc.StopWhen = func() func(*sim.Trace) bool { return sim.CorrectDecided(0) }
+	case "rotating":
+		sc.Automaton = consensus.Rotating{Proposals: consensus.DistinctProposals(*n)}
+		sc.StopWhen = func() func(*sim.Trace) bool { return sim.CorrectDecided(0) }
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *algo))
+	}
+	if *drop > 0 || *delay > 0 {
+		sc.Faults = &sim.LinkFaults{DropPct: *drop, MaxExtraDelay: model.Time(*delay)}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "sweep: %s\nseeds [%d, %d), chunk %d\n", sc.Name, *from, *from+*seeds, *chunk)
+	start := time.Now()
+	stats, err := harness.Stream(sc, harness.SeedRange{From: *from, To: *from + *seeds},
+		harness.SweepReducer(), harness.StreamOptions{
+			Workers:    *parallel,
+			ChunkSize:  *chunk,
+			Checkpoint: *checkpoint,
+			Context:    ctx,
+		})
+	elapsed := time.Since(start)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "sweep: interrupted after %d/%d runs (%.1fs)\n", stats.Runs, *seeds, elapsed.Seconds())
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "sweep: checkpoint saved; re-run the same command to resume: %s\n", *checkpoint)
+		}
+		os.Exit(130)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d runs in %.1fs (%.0f runs/s), digest %s\n",
+		stats.Runs, elapsed.Seconds(), float64(stats.Runs)/elapsed.Seconds(), short(stats.Digest))
+
+	data, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: wrote %s\n", *out)
+}
+
+func short(digest string) string {
+	if len(digest) > 16 {
+		return digest[:16]
+	}
+	return digest
+}
+
+func parsePattern(n int, spec string) (*model.FailurePattern, error) {
+	pat, err := model.NewFailurePattern(n)
+	if err != nil {
+		return nil, err
+	}
+	if spec == "" {
+		return pat, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(part, "p"))
+		pc := strings.SplitN(part, "@", 2)
+		if len(pc) != 2 {
+			return nil, fmt.Errorf("bad crash spec %q (want pID@time)", part)
+		}
+		id, err := strconv.Atoi(pc[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad process in %q: %w", part, err)
+		}
+		at, err := strconv.ParseInt(pc[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time in %q: %w", part, err)
+		}
+		if err := pat.Crash(model.ProcessID(id), model.Time(at)); err != nil {
+			return nil, err
+		}
+	}
+	return pat, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

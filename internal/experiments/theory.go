@@ -33,6 +33,27 @@ func crashPattern(crashes int) *model.FailurePattern {
 // rfPolicy is the per-run policy factory used by most sweeps.
 func rfPolicy() sim.Policy { return &sim.RandomFairPolicy{} }
 
+// streamAgg runs sc at every seed through the streaming harness and
+// folds each run's statistic into an additive aggregate: analyze maps
+// one (possibly failed) run to its contribution and combine sums
+// contributions. combine must be commutative and associative with the
+// zero aggregate as identity — every aggregate below is a bundle of
+// counters, so the streamed table is byte-identical to the retained
+// Map-then-loop it replaced, at any worker count. Chunk size 1 keeps
+// the per-seed parallelism Map had; no trace outlives its run.
+func streamAgg[S any](sc harness.Scenario, seeds int, analyze func(harness.Result) S, combine func(S, S) S) S {
+	agg, err := harness.Stream(sc, harness.Seeds(seeds), harness.Reducer[S]{
+		New:   func() (zero S) { return zero },
+		Fold:  func(acc S, r harness.Result) S { return combine(acc, analyze(r)) },
+		Merge: combine,
+	}, harness.StreamOptions{Workers: Workers(), ChunkSize: 1})
+	if err != nil {
+		// Without a checkpoint or cancelable context Stream cannot fail.
+		panic(fmt.Sprintf("experiments: streaming sweep failed: %v", err))
+	}
+	return agg
+}
+
 // stopDecided is the per-run stop-predicate factory for instance 0.
 func stopDecided() func(*sim.Trace) bool { return sim.CorrectDecided(0) }
 
@@ -79,10 +100,9 @@ func E1Totality(seeds int) *Table {
 		{"fair", nil},
 		{"delay+partition", healingNet()},
 	}
-	type runStat struct {
-		ok                    bool
-		decisions, violations int
-		sumT                  int64
+	type e1Agg struct {
+		runs, decisions, violations int
+		sumT                        int64
 	}
 	allTotal := true
 	for _, o := range oracles {
@@ -98,38 +118,33 @@ func E1Totality(seeds int) *Table {
 					Faults:   net.faults,
 					StopWhen: stopDecided,
 				}
-				stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) runStat {
+				agg := streamAgg(sc, seeds, func(r harness.Result) e1Agg {
 					if r.Err != nil {
-						return runStat{}
+						return e1Agg{}
 					}
-					st := runStat{ok: true}
+					a := e1Agg{runs: 1}
 					for _, d := range r.Trace.Decisions(0) {
-						st.decisions++
-						st.sumT += int64(d.T)
+						a.decisions++
+						a.sumT += int64(d.T)
 					}
-					st.violations = len(core.TotalityReport(r.Trace, 0))
-					return st
+					a.violations = len(core.TotalityReport(r.Trace, 0))
+					return a
+				}, func(x, y e1Agg) e1Agg {
+					x.runs += y.runs
+					x.decisions += y.decisions
+					x.violations += y.violations
+					x.sumT += y.sumT
+					return x
 				})
-				decisions, violations := 0, 0
-				var sumT, runs int64
-				for _, st := range stats {
-					if !st.ok {
-						continue
-					}
-					runs++
-					decisions += st.decisions
-					sumT += st.sumT
-					violations += st.violations
-				}
-				if violations > 0 {
+				if agg.violations > 0 {
 					allTotal = false
 				}
 				meanT := int64(0)
-				if decisions > 0 {
-					meanT = sumT / int64(decisions)
+				if agg.decisions > 0 {
+					meanT = agg.sumT / int64(agg.decisions)
 				}
-				t.AddRow(o.Name(), net.label, fmt.Sprint(crashes), fmt.Sprint(runs),
-					fmt.Sprint(decisions), fmt.Sprint(violations), fmt.Sprint(meanT))
+				t.AddRow(o.Name(), net.label, fmt.Sprint(crashes), fmt.Sprint(agg.runs),
+					fmt.Sprint(agg.decisions), fmt.Sprint(agg.violations), fmt.Sprint(meanT))
 			}
 		}
 	}
@@ -191,9 +206,9 @@ func E3Reduction(seeds int) *Table {
 		Columns: []string{"crashes", "runs", "accurate", "complete", "mean emulation lag (ticks)"},
 	}
 	const maxInst = 40
-	type runStat struct {
-		ok, accurate, complete bool
-		lagSum, lagCnt         int64
+	type e3Agg struct {
+		runs, inaccurate, incomplete int
+		lagSum, lagCnt               int64
 	}
 	ok := true
 	for _, crashes := range []int{0, 1, 2, 4} {
@@ -215,21 +230,21 @@ func E3Reduction(seeds int) *Table {
 				}
 			},
 		}
-		stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) runStat {
+		agg := streamAgg(sc, seeds, func(r harness.Result) e3Agg {
 			if r.Err != nil {
-				return runStat{}
+				return e3Agg{}
 			}
-			st := runStat{ok: true, accurate: true, complete: true}
+			a := e3Agg{runs: 1}
 			pat := r.Trace.Pattern
 			h, err := core.ExtractEmulatedHistory(r.Trace)
 			if err != nil {
-				return st
+				return a
 			}
 			if fd.CheckStrongAccuracy(h, pat) != nil {
-				st.accurate = false
+				a.inaccurate = 1
 			}
 			if fd.CheckStrongCompleteness(h, pat) != nil {
-				st.complete = false
+				a.incomplete = 1
 			}
 			// Emulation lag: crash → first correct process suspecting
 			// it in output(P).
@@ -244,32 +259,28 @@ func E3Reduction(seeds int) *Table {
 					}
 				}
 				if best >= 0 {
-					st.lagSum += best - int64(ct)
-					st.lagCnt++
+					a.lagSum += best - int64(ct)
+					a.lagCnt++
 				}
 			}
-			return st
+			return a
+		}, func(x, y e3Agg) e3Agg {
+			x.runs += y.runs
+			x.inaccurate += y.inaccurate
+			x.incomplete += y.incomplete
+			x.lagSum += y.lagSum
+			x.lagCnt += y.lagCnt
+			return x
 		})
-		accurate, complete, runs := true, true, 0
-		var lagSum, lagCnt int64
-		for _, st := range stats {
-			if !st.ok {
-				continue
-			}
-			runs++
-			accurate = accurate && st.accurate
-			complete = complete && st.complete
-			lagSum += st.lagSum
-			lagCnt += st.lagCnt
-		}
+		accurate, complete := agg.inaccurate == 0, agg.incomplete == 0
 		if !accurate || !complete {
 			ok = false
 		}
 		lag := "-"
-		if lagCnt > 0 {
-			lag = fmt.Sprint(lagSum / lagCnt)
+		if agg.lagCnt > 0 {
+			lag = fmt.Sprint(agg.lagSum / agg.lagCnt)
 		}
-		t.AddRow(fmt.Sprint(crashes), fmt.Sprint(runs), mark(accurate), mark(complete), lag)
+		t.AddRow(fmt.Sprint(crashes), fmt.Sprint(agg.runs), mark(accurate), mark(complete), lag)
 	}
 	t.Verdict = fmt.Sprintf("emulated detector is Perfect in every run: %s (paper: P is the weakest realistic class for consensus)", mark(ok))
 	return t
@@ -284,8 +295,8 @@ func E4TRB(seeds int) *Table {
 		Columns: []string{"crashes", "runs", "TRB spec", "TRB⇒P accurate", "TRB⇒P complete"},
 	}
 	const waves = 4
-	type runStat struct {
-		ok, spec, acc, comp bool
+	type e4Agg struct {
+		runs, specBad, accBad, compBad int
 	}
 	ok := true
 	for _, crashes := range []int{0, 1, 2, 4} {
@@ -305,38 +316,35 @@ func E4TRB(seeds int) *Table {
 			Policy:   rfPolicy,
 			StopWhen: func() func(*sim.Trace) bool { return trb.AllDelivered(waves) },
 		}
-		stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) runStat {
+		agg := streamAgg(sc, seeds, func(r harness.Result) e4Agg {
 			if r.Err != nil {
-				return runStat{}
+				return e4Agg{}
 			}
-			st := runStat{ok: true, spec: true, acc: true, comp: true}
+			a := e4Agg{runs: 1}
 			pat := r.Trace.Pattern
 			if trb.CheckAll(r.Trace, waves, nil) != nil {
-				st.spec = false
+				a.specBad = 1
 			}
 			h := core.EmulatePerfectFromTRB(r.Trace)
 			if fd.CheckStrongAccuracy(h, pat) != nil {
-				st.acc = false
+				a.accBad = 1
 			}
 			if crashes > 0 && fd.CheckStrongCompleteness(h, pat) != nil {
-				st.comp = false
+				a.compBad = 1
 			}
-			return st
+			return a
+		}, func(x, y e4Agg) e4Agg {
+			x.runs += y.runs
+			x.specBad += y.specBad
+			x.accBad += y.accBad
+			x.compBad += y.compBad
+			return x
 		})
-		specOK, accOK, compOK, runs := true, true, true, 0
-		for _, st := range stats {
-			if !st.ok {
-				continue
-			}
-			runs++
-			specOK = specOK && st.spec
-			accOK = accOK && st.acc
-			compOK = compOK && st.comp
-		}
+		specOK, accOK, compOK := agg.specBad == 0, agg.accBad == 0, agg.compBad == 0
 		if !specOK || !accOK || !compOK {
 			ok = false
 		}
-		t.AddRow(fmt.Sprint(crashes), fmt.Sprint(runs), mark(specOK), mark(accOK), mark(compOK))
+		t.AddRow(fmt.Sprint(crashes), fmt.Sprint(agg.runs), mark(specOK), mark(accOK), mark(compOK))
 	}
 	t.Verdict = fmt.Sprintf("TRB solved with unbounded crashes and emulates P back: %s", mark(ok))
 	return t
@@ -369,34 +377,31 @@ func E5Marabout(seeds int) *Table {
 			Policy:   rfPolicy,
 			StopWhen: stopDecided,
 		}
-		type runStat struct{ ok, solved bool }
-		stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) runStat {
+		type e5Agg struct{ runs, notSolved int }
+		agg := streamAgg(sc, seeds, func(r harness.Result) e5Agg {
 			if r.Err != nil {
-				return runStat{}
+				return e5Agg{}
 			}
-			st := runStat{ok: true, solved: true}
+			a := e5Agg{runs: 1}
 			o, err := consensus.ExtractOutcome(r.Trace, 0)
 			if err != nil || o.CheckUniformSpec(r.Trace.Pattern, props) != nil {
-				st.solved = false
-				return st
+				a.notSolved = 1
+				return a
 			}
 			if v, _ := o.DecidedValue(); v != props[leader] {
-				st.solved = false
+				a.notSolved = 1
 			}
-			return st
+			return a
+		}, func(x, y e5Agg) e5Agg {
+			x.runs += y.runs
+			x.notSolved += y.notSolved
+			return x
 		})
-		solved, runs := true, 0
-		for _, st := range stats {
-			if !st.ok {
-				continue
-			}
-			runs++
-			solved = solved && st.solved
-		}
+		solved := agg.notSolved == 0
 		if !solved {
 			ok = false
 		}
-		t.AddRow(fmt.Sprint(crashes), fmt.Sprint(runs), mark(solved), leader.String(), "✗ (not realistic)")
+		t.AddRow(fmt.Sprint(crashes), fmt.Sprint(agg.runs), mark(solved), leader.String(), "✗ (not realistic)")
 	}
 	if fd.CheckRealism(fd.Marabout{}, expN, 100, 12) == nil {
 		ok = false
@@ -428,24 +433,27 @@ func E6PartialPerfect(seeds int) *Table {
 			Policy:   rfPolicy,
 			StopWhen: stopDecided,
 		}
-		type runStat struct{ ok, good bool }
-		stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) runStat {
+		type e6Agg struct{ runs, bad int }
+		agg := streamAgg(sc, seeds, func(r harness.Result) e6Agg {
 			if r.Err != nil {
-				return runStat{}
+				return e6Agg{}
 			}
 			pat := r.Trace.Pattern
 			o, err := consensus.ExtractOutcome(r.Trace, 0)
 			good := err == nil && o.CheckTermination(pat) == nil &&
 				o.CheckAgreementAmongCorrect(pat) == nil && o.CheckValidity(props) == nil
-			return runStat{ok: true, good: good}
-		})
-		for _, st := range stats {
-			if !st.ok {
-				continue
+			a := e6Agg{runs: 1}
+			if !good {
+				a.bad = 1
 			}
-			runs++
-			benignOK = benignOK && st.good
-		}
+			return a
+		}, func(x, y e6Agg) e6Agg {
+			x.runs += y.runs
+			x.bad += y.bad
+			return x
+		})
+		runs += agg.runs
+		benignOK = benignOK && agg.bad == 0
 	}
 	t.AddRow("random crashes", fmt.Sprint(runs), mark(benignOK), "(not claimed)")
 
@@ -476,30 +484,32 @@ func E6PartialPerfect(seeds int) *Table {
 		},
 		StopWhen: stopDecided,
 	}
-	type advStat struct{ adOK, violated bool }
-	stats := harness.Map(sc, harness.Seeds(seeds), Workers(), func(r harness.Result) advStat {
+	type advAgg struct{ notOK, violations int }
+	agg := streamAgg(sc, seeds, func(r harness.Result) advAgg {
 		if r.Err != nil {
-			return advStat{}
+			return advAgg{notOK: 1}
 		}
 		if _, crashed := r.Trace.Pattern.CrashTime(1); !crashed {
-			return advStat{}
+			return advAgg{notOK: 1}
 		}
 		o, err := consensus.ExtractOutcome(r.Trace, 0)
 		if err != nil {
-			return advStat{}
+			return advAgg{notOK: 1}
 		}
-		return advStat{
-			adOK:     o.CheckAgreementAmongCorrect(r.Trace.Pattern) == nil,
-			violated: o.CheckUniformAgreement() != nil,
+		a := advAgg{}
+		if o.CheckAgreementAmongCorrect(r.Trace.Pattern) != nil {
+			a.notOK = 1
 		}
+		if o.CheckUniformAgreement() != nil {
+			a.violations = 1
+		}
+		return a
+	}, func(x, y advAgg) advAgg {
+		x.notOK += y.notOK
+		x.violations += y.violations
+		return x
 	})
-	violations, adOK := 0, true
-	for _, st := range stats {
-		adOK = adOK && st.adOK
-		if st.violated {
-			violations++
-		}
-	}
+	violations, adOK := agg.violations, agg.notOK == 0
 	t.AddRow("p1 isolated+crashed", fmt.Sprint(seeds), mark(adOK), fmt.Sprintf("✗ in %d/%d runs", violations, seeds))
 	t.Verdict = fmt.Sprintf("correct-restricted solvable with P< while uniform breaks: %s — uniform is strictly harder", mark(benignOK && adOK && violations > 0))
 	return t
@@ -585,16 +595,18 @@ func E8MajorityCrossover(seeds int) *Table {
 			Oracle:    fd.Perfect{Delay: 2}, Horizon: 20000,
 			Pattern: pattern, Policy: rfPolicy, StopWhen: stopDecided,
 		}
-		sOK := true
-		for _, good := range harness.Map(scS, harness.Seeds(seeds), Workers(), func(r harness.Result) bool {
+		addInt := func(x, y int) int { return x + y }
+		sBad := streamAgg(scS, seeds, func(r harness.Result) int {
 			if r.Err != nil || r.Trace.Stopped != sim.StopCondition {
-				return false
+				return 1
 			}
 			o, err := consensus.ExtractOutcome(r.Trace, 0)
-			return err == nil && o.CheckUniformSpec(r.Trace.Pattern, props) == nil
-		}) {
-			sOK = sOK && good
-		}
+			if err != nil || o.CheckUniformSpec(r.Trace.Pattern, props) != nil {
+				return 1
+			}
+			return 0
+		}, addInt)
+		sOK := sBad == 0
 
 		scR := harness.Scenario{
 			Name: "E8-rotating", N: expN,
@@ -605,21 +617,24 @@ func E8MajorityCrossover(seeds int) *Table {
 			Horizon: 20000,
 			Pattern: pattern, Policy: rfPolicy, StopWhen: stopDecided,
 		}
-		type rotStat struct{ live, safe bool }
-		rotLive, rotSafe := true, true
-		for _, st := range harness.Map(scR, harness.Seeds(seeds), Workers(), func(r harness.Result) rotStat {
-			st := rotStat{safe: true}
-			st.live = r.Err == nil && r.Trace.Stopped == sim.StopCondition
+		type rotAgg struct{ notLive, notSafe int }
+		rot := streamAgg(scR, seeds, func(r harness.Result) rotAgg {
+			var a rotAgg
+			if !(r.Err == nil && r.Trace.Stopped == sim.StopCondition) {
+				a.notLive = 1
+			}
 			if r.Err == nil {
 				if o, err := consensus.ExtractOutcome(r.Trace, 0); err != nil || o.CheckUniformAgreement() != nil {
-					st.safe = false
+					a.notSafe = 1
 				}
 			}
-			return st
-		}) {
-			rotLive = rotLive && st.live
-			rotSafe = rotSafe && st.safe
-		}
+			return a
+		}, func(x, y rotAgg) rotAgg {
+			x.notLive += y.notLive
+			x.notSafe += y.notSafe
+			return x
+		})
+		rotLive, rotSafe := rot.notLive == 0, rot.notSafe == 0
 
 		// Same rotating algorithm on a dropping link: no liveness claim
 		// survives a lossy channel without retransmission, but uniform
@@ -629,16 +644,17 @@ func E8MajorityCrossover(seeds int) *Table {
 		scL.Faults = dropNet()
 		scL.StopWhen = nil
 		scL.Horizon = 6000
-		lossySafe := true
-		for _, good := range harness.Map(scL, harness.Seeds(seeds), Workers(), func(r harness.Result) bool {
+		lossyBad := streamAgg(scL, seeds, func(r harness.Result) int {
 			if r.Err != nil {
-				return false
+				return 1
 			}
 			o, err := consensus.ExtractOutcome(r.Trace, 0)
-			return err == nil && o.CheckUniformAgreement() == nil && o.CheckValidity(props) == nil
-		}) {
-			lossySafe = lossySafe && good
-		}
+			if err != nil || o.CheckUniformAgreement() != nil || o.CheckValidity(props) != nil {
+				return 1
+			}
+			return 0
+		}, addInt)
+		lossySafe := lossyBad == 0
 
 		needMajority := f >= (expN+1)/2
 		wantLive := !needMajority

@@ -107,6 +107,15 @@ func (sc Scenario) Run(seed int64) Result {
 	return Result{Seed: seed, Trace: tr, Err: err}
 }
 
+// RunIn executes the scenario's run at one seed in a reused run
+// context: the streaming hot path. The result's trace is valid only
+// until the context's next run — consumers fold it immediately
+// (Reducer.Fold) and retain summaries, never the trace.
+func (sc Scenario) RunIn(rc *sim.RunContext, seed int64) Result {
+	tr, err := rc.Execute(sc.Config(seed))
+	return Result{Seed: seed, Trace: tr, Err: err}
+}
+
 // Result is the outcome of one seeded run.
 type Result struct {
 	Seed  int64
@@ -133,7 +142,9 @@ func (sr SeedRange) Count() int {
 // Sweep runs the scenario at every seed in the range across a worker
 // pool and returns the results ordered by seed. workers ≤ 0 means
 // GOMAXPROCS. Beware of memory: every trace is retained; prefer Map
-// when only a per-run summary is needed.
+// when only a per-run summary is needed, and Reduce/Stream when only
+// aggregates are — streaming mode recycles run contexts and holds
+// memory flat across arbitrarily many seeds.
 func Sweep(sc Scenario, seeds SeedRange, workers int) []Result {
 	return Map(sc, seeds, workers, func(r Result) Result { return r })
 }

@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"realisticfd/internal/sim"
+)
+
+// refStats folds retained Sweep results sequentially in seed order:
+// the reference the streaming path must reproduce exactly.
+func refStats(t *testing.T, sc Scenario, seeds SeedRange) SweepStats {
+	t.Helper()
+	red := SweepReducer()
+	st := red.New()
+	for _, r := range Sweep(sc, seeds, 1) {
+		st = red.Fold(st, r)
+	}
+	return st
+}
+
+func assertStatsEqual(t *testing.T, label string, got, want SweepStats) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: streaming stats diverged:\n got %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestStreamMatchesRetained is the streaming-vs-retained equivalence
+// gate: Reduce over reused run contexts, at any worker count and chunk
+// size, must equal a sequential fold over fully retained traces — for
+// clean and lossy links alike.
+func TestStreamMatchesRetained(t *testing.T) {
+	t.Parallel()
+	for _, faults := range []*sim.LinkFaults{
+		nil,
+		{DropPct: 20, MaxExtraDelay: 3},
+	} {
+		sc := testScenario(faults)
+		want := refStats(t, sc, Seeds(24))
+		if want.Runs != 24 || want.Errors != 0 {
+			t.Fatalf("reference sweep: %+v", want)
+		}
+		for _, opts := range []StreamOptions{
+			{Workers: 1, ChunkSize: 24},
+			{Workers: 2 * runtime.GOMAXPROCS(0), ChunkSize: 5},
+			{Workers: 3, ChunkSize: 1},
+		} {
+			got, err := Stream(sc, Seeds(24), SweepReducer(), opts)
+			if err != nil {
+				t.Fatalf("Stream(%+v): %v", opts, err)
+			}
+			assertStatsEqual(t, "faults/chunked", got, want)
+		}
+		got := Reduce(sc, Seeds(24), 0, SweepReducer())
+		assertStatsEqual(t, "Reduce", got, want)
+	}
+}
+
+// TestStreamMergeRace exercises the merge/checkpoint coordinator under
+// maximum contention; its value is running under -race in CI.
+func TestStreamMergeRace(t *testing.T) {
+	t.Parallel()
+	sc := testScenario(&sim.LinkFaults{DropPct: 10})
+	path := filepath.Join(t.TempDir(), "race.ckpt")
+	got, err := Stream(sc, Seeds(32), SweepReducer(), StreamOptions{
+		Workers: 4 * runtime.GOMAXPROCS(0), ChunkSize: 1, Checkpoint: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Runs != 32 {
+		t.Fatalf("streamed %d runs, want 32", got.Runs)
+	}
+}
+
+// interruptAfter cancels ctx after the reducer has folded n runs —
+// deliberately not aligned to a chunk boundary, so the kill lands
+// mid-chunk and the partial chunk must be recomputed on resume.
+func interruptAfter(red Reducer[SweepStats], n int64, cancel context.CancelFunc) Reducer[SweepStats] {
+	var folded atomic.Int64
+	inner := red.Fold
+	red.Fold = func(st SweepStats, r Result) SweepStats {
+		if folded.Add(1) == n {
+			cancel()
+		}
+		return inner(st, r)
+	}
+	return red
+}
+
+// TestCheckpointResume kills a checkpointed campaign mid-chunk, then
+// resumes it and checks the merged accumulator equals an uninterrupted
+// run's. A third invocation must short-circuit on the completed
+// checkpoint without executing anything.
+func TestCheckpointResume(t *testing.T) {
+	t.Parallel()
+	sc := testScenario(&sim.LinkFaults{DropPct: 15, MaxExtraDelay: 2})
+	seeds := Seeds(30)
+	want := refStats(t, sc, seeds)
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	opts := StreamOptions{Workers: 2, ChunkSize: 4, Checkpoint: path}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killOpts := opts
+	killOpts.Context = ctx
+	partial, err := Stream(sc, seeds, interruptAfter(SweepReducer(), 10, cancel), killOpts)
+	if err != context.Canceled {
+		t.Fatalf("interrupted campaign returned err=%v, want context.Canceled", err)
+	}
+	if partial.Runs >= want.Runs {
+		t.Fatalf("interrupted campaign merged all %d runs; the kill was a no-op", partial.Runs)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	resumed, err := Stream(sc, seeds, SweepReducer(), opts)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	assertStatsEqual(t, "resumed", resumed, want)
+
+	// The completed checkpoint short-circuits: zero runs executed.
+	var folded atomic.Int64
+	counting := SweepReducer()
+	inner := counting.Fold
+	counting.Fold = func(st SweepStats, r Result) SweepStats {
+		folded.Add(1)
+		return inner(st, r)
+	}
+	again, err := Stream(sc, seeds, counting, opts)
+	if err != nil {
+		t.Fatalf("re-run on completed checkpoint: %v", err)
+	}
+	assertStatsEqual(t, "completed-checkpoint", again, want)
+	if folded.Load() != 0 {
+		t.Fatalf("completed checkpoint still executed %d runs", folded.Load())
+	}
+}
+
+// TestCheckpointMismatchRejected pins the identity check: a checkpoint
+// from a different campaign (other seed range / chunking) must refuse
+// to resume instead of silently merging incompatible state.
+func TestCheckpointMismatchRejected(t *testing.T) {
+	t.Parallel()
+	sc := testScenario(nil)
+	path := filepath.Join(t.TempDir(), "mismatch.ckpt")
+	if _, err := Stream(sc, Seeds(8), SweepReducer(), StreamOptions{ChunkSize: 4, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stream(sc, Seeds(16), SweepReducer(), StreamOptions{ChunkSize: 4, Checkpoint: path}); err == nil {
+		t.Fatal("seed-range mismatch was not rejected")
+	}
+	if _, err := Stream(sc, Seeds(8), SweepReducer(), StreamOptions{ChunkSize: 2, Checkpoint: path}); err == nil {
+		t.Fatal("chunk-size mismatch was not rejected")
+	}
+}
+
+// TestSweepStatsJSONRoundTrip pins the checkpoint serialization of the
+// standard accumulator: a fold → JSON → fold-resume cycle must be
+// lossless, including the histogram and stop counters.
+func TestSweepStatsJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	st := refStats(t, testScenario(&sim.LinkFaults{DropPct: 25}), Seeds(6))
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SweepStats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	assertStatsEqual(t, "round-trip", back, st)
+}
+
+// TestStreamEmptyRange pins the degenerate case.
+func TestStreamEmptyRange(t *testing.T) {
+	t.Parallel()
+	got, err := Stream(testScenario(nil), Seeds(0), SweepReducer(), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Runs != 0 || got.Digest != "" {
+		t.Fatalf("empty range produced %+v", got)
+	}
+}

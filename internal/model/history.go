@@ -34,6 +34,17 @@ func NewHistory(n int) *History {
 // N returns the system size.
 func (h *History) N() int { return h.n }
 
+// Reset clears the history in place for reuse with a system of n
+// processes, retaining the per-process sample capacity. It exists for
+// the simulator's reusable run contexts, which recycle one History
+// across a whole streaming sweep.
+func (h *History) Reset(n int) {
+	h.n = n
+	for p, ss := range h.samples {
+		h.samples[p] = ss[:0]
+	}
+}
+
 // Record appends the value out seen by p at time t. Times must be
 // recorded in non-decreasing order per process.
 func (h *History) Record(p ProcessID, t Time, out ProcessSet) {

@@ -2,6 +2,7 @@ package model
 
 import (
 	"math/bits"
+	"strconv"
 	"strings"
 )
 
@@ -129,4 +130,22 @@ func (s ProcessSet) String() string {
 		parts = append(parts, p.String())
 	}
 	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// AppendText appends the String rendering to b without allocating —
+// the trace digest encoder's hot path.
+func (s ProcessSet) AppendText(b []byte) []byte {
+	b = append(b, '{')
+	first := true
+	w := s.bits
+	for w != 0 {
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, 'p')
+		b = strconv.AppendInt(b, int64(bits.TrailingZeros64(w)+1), 10)
+		w &= w - 1
+	}
+	return append(b, '}')
 }

@@ -136,6 +136,48 @@ func TestReplayFixedTimeoutDetectsCrash(t *testing.T) {
 	}
 }
 
+// TestReplayNonDividingSamplePeriodCoversTail is the regression test
+// for the unobserved-tail bug: when SamplePeriod does not divide
+// Duration, Replay used to stop sampling at the last multiple of the
+// period, so anything that happened in the window's tail — like a
+// crash turning into permanent suspicion — was invisible and
+// FinalSuspected reported a stale instant.
+func TestReplayNonDividingSamplePeriodCoversTail(t *testing.T) {
+	t.Parallel()
+	model := ArrivalModel{
+		Interval:   20 * time.Millisecond,
+		CrashAfter: 930 * time.Millisecond,
+		Duration:   time.Second,
+		// 300ms does not divide 1s: in-loop samples land at 300/600/900ms
+		// and the 100ms tail is where detection happens.
+		SamplePeriod: 300 * time.Millisecond,
+		Seed:         1,
+	}
+	tl := model.Replay(&heartbeat.FixedTimeout{Timeout: 60 * time.Millisecond})
+	if got, want := tl.end, origin.Add(model.Duration); !got.Equal(want) {
+		t.Fatalf("window ends at %v, want %v (tail sample missing)", got, want)
+	}
+	if len(tl.samples) != 4 {
+		t.Fatalf("recorded %d samples, want 4 (3 in-period + 1 tail)", len(tl.samples))
+	}
+	if !tl.FinalSuspected() {
+		t.Fatal("crash at 930ms undetected: the tail sample at 1s never ran")
+	}
+	if m := tl.Compute(); !m.Detected {
+		t.Fatalf("metrics say undetected: %+v", m)
+	}
+
+	// A dividing period must not double-sample the endpoint.
+	model.SamplePeriod = 250 * time.Millisecond
+	tl = model.Replay(&heartbeat.FixedTimeout{Timeout: 60 * time.Millisecond})
+	if len(tl.samples) != 4 {
+		t.Fatalf("dividing period recorded %d samples, want exactly 4", len(tl.samples))
+	}
+	if got, want := tl.end, origin.Add(model.Duration); !got.Equal(want) {
+		t.Fatalf("window ends at %v, want %v", got, want)
+	}
+}
+
 func TestReplayTightTimeoutMistakesUnderJitterLoss(t *testing.T) {
 	t.Parallel()
 	// A timeout barely above the interval, 20% loss, heavy jitter:

@@ -85,17 +85,35 @@ func (q *msgQueue) remove(i int) *Message {
 	return m
 }
 
+// purge removes every message of dead from the queue, preserving the
+// order of the survivors. dead must be a subsequence of view() in
+// queue order (which is how DropSifter implementations report it).
+func (q *msgQueue) purge(dead []*Message) {
+	live := q.buf[q.head:q.head]
+	di := 0
+	for _, m := range q.view() {
+		if di < len(dead) && m == dead[di] {
+			di++
+			continue
+		}
+		live = append(live, m)
+	}
+	for i := q.head + len(live); i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:q.head+len(live)]
+}
+
 // Run is a live run handle passed to AfterStep hooks.
 type Run struct {
 	cfg     Config
+	rc      *RunContext
 	now     model.Time
 	rng     *rand.Rand
 	pattern *model.FailurePattern
-	procs   []Process
-	pending []msgQueue // pending[p] = buffered messages to p
 	trace   *Trace
 	nextMsg int64
-	lastEv  []int // last event index per process, -1 initially
+	sifter  DropSifter // policy's drop reporter, nil if none
 
 	// Alive-set cache: rebuilt only when a crash takes effect, never
 	// per tick. aliveList is sorted by ID (the Policy contract);
@@ -105,16 +123,6 @@ type Run struct {
 	aliveList []model.ProcessID
 	aliveSet  model.ProcessSet
 	nextCrash model.Time
-
-	// Allocation arenas: messages and per-event send slices are carved
-	// from chunks so the per-step allocation count stays flat (they
-	// were the top allocators under -benchmem before pooling). Chunks
-	// start small and grow geometrically, so short StopWhen runs don't
-	// pay for capacity only horizon-length runs use.
-	msgArena  []Message
-	msgChunk  int
-	sendArena []*Message
-	sendChunk int
 }
 
 // Now returns the current global time.
@@ -171,46 +179,24 @@ func (r *Run) refreshAlive(t model.Time) {
 	}
 }
 
-// allocMsg carves one Message from the run's arena.
-func (r *Run) allocMsg() *Message {
-	if len(r.msgArena) == 0 {
-		if r.msgChunk == 0 {
-			r.msgChunk = 32
-		} else if r.msgChunk < 1024 {
-			r.msgChunk *= 4
-		}
-		r.msgArena = make([]Message, r.msgChunk)
-	}
-	m := &r.msgArena[0]
-	r.msgArena = r.msgArena[1:]
-	return m
-}
-
-// allocSends carves a zero-length, capacity-n pointer slice from the
-// run's arena for one event's Sends.
-func (r *Run) allocSends(n int) []*Message {
-	if n > len(r.sendArena) {
-		if r.sendChunk == 0 {
-			r.sendChunk = 64
-		} else if r.sendChunk < 2048 {
-			r.sendChunk *= 4
-		}
-		size := r.sendChunk
-		if n > size {
-			size = n
-		}
-		r.sendArena = make([]*Message, size)
-	}
-	s := r.sendArena[0:0:n]
-	r.sendArena = r.sendArena[n:]
-	return s
-}
-
-// Execute runs the configured algorithm and returns the recorded
-// trace. The returned error is non-nil only for configuration
-// problems; a run in which all processes crash ends normally with the
-// trace produced so far and Stopped = StopAllCrashed.
+// Execute runs the configured algorithm in a fresh context and returns
+// the recorded trace. The returned error is non-nil only for
+// configuration problems; a run in which all processes crash ends
+// normally with the trace produced so far and Stopped = StopAllCrashed.
+//
+// Sweeps that execute many seeds back to back should prefer a reused
+// RunContext (one per worker): it recycles the trace, queues and
+// message arenas across runs, at the price that each returned trace is
+// only valid until the context's next run.
 func Execute(cfg Config) (*Trace, error) {
+	return NewRunContext().Execute(cfg)
+}
+
+// Execute runs the configured algorithm reusing the context's arenas.
+// The returned Trace — and everything reachable from it — is valid
+// only until the next Execute call on the same context; see the
+// RunContext contract.
+func (rc *RunContext) Execute(cfg Config) (*Trace, error) {
 	if err := model.ValidateN(cfg.N); err != nil {
 		return nil, err
 	}
@@ -235,33 +221,17 @@ func Execute(cfg Config) (*Trace, error) {
 		policy = &FairPolicy{}
 	}
 
-	// Seed the schedule's capacity modestly: StopWhen runs often end
-	// orders of magnitude before the horizon, so sizing to the horizon
-	// would waste the whole block; growth beyond this is amortized by
-	// append's doubling.
-	eventCap := int(cfg.Horizon)
-	if eventCap > 512 {
-		eventCap = 512
-	}
 	r := &Run{
 		cfg:     cfg,
+		rc:      rc,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		pattern: pattern,
-		procs:   make([]Process, cfg.N+1),
-		pending: make([]msgQueue, cfg.N+1),
-		lastEv:  make([]int, cfg.N+1),
-		trace: &Trace{
-			N:       cfg.N,
-			Events:  make([]EventRecord, 0, eventCap),
-			History: model.NewHistory(cfg.N),
-			Pattern: pattern,
-			byProc:  make(map[model.ProcessID][]int, cfg.N),
-		},
+		trace:   rc.reset(cfg, pattern),
 		nextMsg: 1,
 	}
+	r.sifter, _ = policy.(DropSifter)
 	for p := 1; p <= cfg.N; p++ {
-		r.procs[p] = cfg.Automaton.Spawn(model.ProcessID(p), cfg.N)
-		r.lastEv[p] = -1
+		rc.procs[p] = cfg.Automaton.Spawn(model.ProcessID(p), cfg.N)
 	}
 
 	// The alive cache is rebuilt only when a crash takes effect; the
@@ -293,9 +263,22 @@ func Execute(cfg Config) (*Trace, error) {
 			return nil, fmt.Errorf("sim: policy scheduled crashed process %v at t=%d", p, t)
 		}
 
-		// (1) receive a message or λ.
+		// (1) receive a message or λ. Under a lossy fault plan, first
+		// purge the messages whose drop verdict is already sealed: they
+		// can never be delivered, and leaving them in the queue would
+		// make every later pick rescan a monotonically growing backlog.
+		// Purged messages still count as undelivered (finish merges
+		// them back), so the trace is byte-identical to a purge-free
+		// engine's.
+		q := &rc.pending[p]
+		if r.sifter != nil && len(q.view()) > 0 {
+			rc.dead = r.sifter.SiftDropped(q.view(), rc.dead[:0])
+			if len(rc.dead) > 0 {
+				q.purge(rc.dead)
+				rc.dropped[p] = append(rc.dropped[p], rc.dead...)
+			}
+		}
 		var msg *Message
-		q := &r.pending[p]
 		if idx := policy.PickMessage(p, q.view(), t, r.rng); idx >= 0 {
 			if idx >= len(q.view()) {
 				return nil, fmt.Errorf("sim: policy picked message %d of %d for %v", idx, len(q.view()), p)
@@ -308,7 +291,7 @@ func Execute(cfg Config) (*Trace, error) {
 		r.trace.History.Record(p, t, susp)
 
 		// (3) state transition and sends.
-		actions := r.procs[p].Step(msg, susp, t)
+		actions := rc.procs[p].Step(msg, susp, t)
 
 		ev := EventRecord{
 			Index:        len(r.trace.Events),
@@ -317,15 +300,15 @@ func Execute(cfg Config) (*Trace, error) {
 			Msg:          msg,
 			FD:           susp,
 			Events:       actions.Events,
-			PrevSameProc: r.lastEv[p],
+			PrevSameProc: rc.lastEv[p],
 		}
 		if len(actions.Sends) > 0 {
-			ev.Sends = r.allocSends(len(actions.Sends))
+			ev.Sends = rc.allocSends(len(actions.Sends))
 			for _, s := range actions.Sends {
 				if s.To < 1 || int(s.To) > cfg.N {
 					return nil, fmt.Errorf("sim: %v sent to out-of-range destination %v", p, s.To)
 				}
-				m := r.allocMsg()
+				m := rc.allocMsg()
 				*m = Message{
 					ID:      r.nextMsg,
 					From:    p,
@@ -336,11 +319,11 @@ func Execute(cfg Config) (*Trace, error) {
 				}
 				r.nextMsg++
 				ev.Sends = append(ev.Sends, m)
-				r.pending[s.To].push(m)
+				rc.pending[s.To].push(m)
 			}
 		}
 		recorded := r.trace.appendEvent(ev)
-		r.lastEv[p] = recorded.Index
+		rc.lastEv[p] = recorded.Index
 
 		if cfg.AfterStep != nil {
 			cfg.AfterStep(r, recorded)
@@ -358,12 +341,31 @@ func Execute(cfg Config) (*Trace, error) {
 	return r.trace, nil
 }
 
-// finish seals the trace with the final buffer contents.
+// finish seals the trace with the final buffer contents. Messages
+// purged at their dropped verdict are merged back in ID order per
+// destination, so Undelivered reads exactly as it would had the
+// backlog never been purged — the golden digests pin this.
 func (r *Run) finish(reason StopReason) {
 	r.trace.Stopped = reason
 	for p := 1; p <= r.cfg.N; p++ {
-		r.trace.Undelivered = append(r.trace.Undelivered, r.pending[p].view()...)
+		r.trace.Undelivered = appendMergedByID(r.trace.Undelivered, r.rc.dropped[p], r.rc.pending[p].view())
 	}
+}
+
+// appendMergedByID appends the merge of two ID-sorted message lists to
+// dst, keeping ID order.
+func appendMergedByID(dst []*Message, a, b []*Message) []*Message {
+	for len(a) > 0 && len(b) > 0 {
+		if a[0].ID < b[0].ID {
+			dst = append(dst, a[0])
+			a = a[1:]
+		} else {
+			dst = append(dst, b[0])
+			b = b[1:]
+		}
+	}
+	dst = append(dst, a...)
+	return append(dst, b...)
 }
 
 // AllDecided returns a StopWhen predicate: every process alive at the

@@ -119,9 +119,12 @@ type FaultyPolicy struct {
 	seeded  bool
 	visible []*Message // scratch: reused per PickMessage call
 	origIdx []int      // scratch: visible[i] = pending[origIdx[i]]
-	// verdicts caches the (drop, ready-time) lottery per message ID:
-	// dropped messages linger in the pending buffer for the whole run,
-	// so without the cache every step would re-hash the full backlog.
+	// verdicts caches the (drop, ready-time) lottery per message ID so
+	// a delay-blocked message is hashed once, not once per step. The
+	// cache stays bounded by the in-flight message count: the engine
+	// purges a message from pending at its first dropped verdict (via
+	// SiftDropped, which evicts the entry), and PickMessage evicts the
+	// entry of the message it delivers.
 	verdicts map[int64]faultVerdict
 }
 
@@ -205,6 +208,38 @@ func (fp *FaultyPolicy) Deliverable(m *Message, t model.Time) bool {
 	return true
 }
 
+// DropSifter is implemented by policies under which some pending
+// messages are permanently undeliverable. The engine consults it
+// before every PickMessage and purges the reported messages from the
+// pending queue — they still count as undelivered in the trace, but
+// no later step rescans them. Implementations must report a subset of
+// pending in its original order, and a message once reported must
+// never have been (and never be) deliverable.
+type DropSifter interface {
+	// SiftDropped appends the permanently dropped messages of pending
+	// to dst and returns it. pending is the destination's queue in
+	// sending order; the returned messages keep that order.
+	SiftDropped(pending []*Message, dst []*Message) []*Message
+}
+
+var _ DropSifter = (*FaultyPolicy)(nil)
+
+// SiftDropped implements DropSifter: every pending message whose drop
+// lottery says "lost forever" is reported for purging, and its cached
+// verdict is evicted — it will never be queried again.
+func (fp *FaultyPolicy) SiftDropped(pending []*Message, dst []*Message) []*Message {
+	if !fp.seeded || fp.Faults.DropPct <= 0 {
+		return dst
+	}
+	for _, m := range pending {
+		if fp.verdict(m).dropped {
+			dst = append(dst, m)
+			delete(fp.verdicts, m.ID)
+		}
+	}
+	return dst
+}
+
 // NextProcess implements Policy by delegating to the inner policy.
 func (fp *FaultyPolicy) NextProcess(alive []model.ProcessID, t model.Time, r *rand.Rand) model.ProcessID {
 	fp.ensureSeed(r)
@@ -231,5 +266,7 @@ func (fp *FaultyPolicy) PickMessage(p model.ProcessID, pending []*Message, t mod
 	if idx >= len(fp.origIdx) {
 		return -1
 	}
+	// The picked message leaves the buffer; its verdict is dead weight.
+	delete(fp.verdicts, fp.visible[idx].ID)
 	return fp.origIdx[idx]
 }

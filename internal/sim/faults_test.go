@@ -149,6 +149,50 @@ func TestFaultyPolicyDropLosesTraffic(t *testing.T) {
 	}
 }
 
+// TestLossyBacklogPurged is the regression test for the lossy-link
+// backlog bug: dropped messages used to linger in the per-destination
+// pending queues for the entire run, so every PickMessage rescanned a
+// monotonically growing backlog and the verdict cache grew without
+// bound. The engine now purges a message at its first dropped verdict;
+// the purged messages must still surface in Trace.Undelivered in ID
+// order (the golden drop/partition digests pin byte-identity), and the
+// verdict cache must end bounded by the still-pending traffic, not by
+// the run's total message count.
+func TestLossyBacklogPurged(t *testing.T) {
+	t.Parallel()
+	fp := &FaultyPolicy{Inner: &RandomFairPolicy{}, Faults: LinkFaults{DropPct: 50}}
+	tr, err := Execute(Config{
+		N: 6, Automaton: noisyAutomaton{}, Oracle: fd.Perfect{},
+		Horizon: 4000, Seed: 9,
+		Policy: fp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := 0
+	lastID := make(map[model.ProcessID]int64)
+	for _, m := range tr.Undelivered {
+		if m.ID <= lastID[m.To] {
+			t.Fatalf("Undelivered to %v out of ID order: %d after %d", m.To, m.ID, lastID[m.To])
+		}
+		lastID[m.To] = m.ID
+		if fp.Dropped(m) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("50% drop rate but no dropped message in the undelivered buffer")
+	}
+	// Every purged (and every delivered) message's verdict is evicted,
+	// so the cache holds at most the messages that were still sitting
+	// unpurged in a queue when the run stopped — strictly fewer than
+	// the undelivered total, and nowhere near the dropped count.
+	if len(fp.verdicts) > len(tr.Undelivered)-dropped {
+		t.Fatalf("verdict cache holds %d entries; want ≤ %d (undelivered %d - dropped %d)",
+			len(fp.verdicts), len(tr.Undelivered)-dropped, len(tr.Undelivered), dropped)
+	}
+}
+
 // TestFaultyPolicyComposesWithInner checks the wrapper preserves the
 // inner policy's scheduling among deliverable messages (fairness
 // forcing, adversarial embargoes, ...).

@@ -146,6 +146,22 @@ func FuzzEngineDeterminism(f *testing.F) {
 			t.Fatalf("replay diverged: %s vs %s", d1[:16], d2[:16])
 		}
 
+		// Streaming-vs-retained equivalence: the same config executed
+		// twice back to back on one reused RunContext — the second run
+		// on deliberately dirty arenas — must reproduce the fresh-context
+		// digest byte for byte.
+		rc := NewRunContext()
+		for i := 0; i < 2; i++ {
+			trS, err := rc.Execute(build())
+			if err != nil {
+				t.Fatalf("reused context run %d: %v", i, err)
+			}
+			if dS := trS.Digest(); dS != tr1.Digest() {
+				t.Fatalf("reused context run %d diverged from fresh context: %s vs %s",
+					i, dS[:16], tr1.Digest()[:16])
+			}
+		}
+
 		// Index soundness against the naive rescan.
 		for _, inst := range []int{AnyInstance, 0, 1, 7} {
 			want := naiveDecisions(tr1, inst)

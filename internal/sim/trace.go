@@ -58,6 +58,10 @@ type Trace struct {
 	// hand-built traces, which fall back to a pattern scan.
 	alive      model.ProcessSet
 	aliveValid bool
+
+	// scratch is the digest encoder's line buffer, retained so that a
+	// RunContext-reused trace digests without per-line allocation.
+	scratch []byte
 }
 
 // appendEvent records ev and updates every incremental index. The
@@ -289,6 +293,38 @@ func (tr *Trace) UndeliveredTo(p model.ProcessID) []*Message {
 		}
 	}
 	return out
+}
+
+// Summary is the retained-nothing abstract of one run: everything a
+// streaming sweep accumulator folds per seed, with no reference back
+// into the trace. Extracting a Summary is the sanctioned way to keep
+// run data past a RunContext reuse.
+type Summary struct {
+	// Digest is the run's full Trace.Digest fingerprint.
+	Digest string
+	// Stopped reports why the run ended.
+	Stopped StopReason
+	// Events is the number of scheduled steps.
+	Events int
+	// MaxTime is the time of the last event.
+	MaxTime model.Time
+	// Decisions counts decide events across all instances.
+	Decisions int
+	// Undelivered is the size of the final message buffer.
+	Undelivered int
+}
+
+// Summary computes the run's streaming summary. It hashes the whole
+// trace, so it costs one Digest; call it once per run.
+func (tr *Trace) Summary() Summary {
+	return Summary{
+		Digest:      tr.Digest(),
+		Stopped:     tr.Stopped,
+		Events:      len(tr.Events),
+		MaxTime:     tr.MaxTime(),
+		Decisions:   tr.DecisionCount(AnyInstance),
+		Undelivered: len(tr.Undelivered),
+	}
 }
 
 // String summarizes the trace.
