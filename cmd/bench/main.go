@@ -28,40 +28,10 @@ import (
 	"realisticfd/internal/fd"
 	"realisticfd/internal/harness"
 	"realisticfd/internal/model"
+	"realisticfd/internal/scenario"
 	"realisticfd/internal/sim"
 	"realisticfd/internal/trb"
 )
-
-// busyAutomaton keeps the message buffer full: every process seeds one
-// broadcast and re-broadcasts on every 8th received message — the same
-// load shape as the sim package's engine benchmark.
-type busyAutomaton struct{}
-
-type busyProc struct {
-	self model.ProcessID
-	n    int
-	seen int
-	sent bool
-}
-
-func (busyAutomaton) Spawn(self model.ProcessID, n int) sim.Process {
-	return &busyProc{self: self, n: n}
-}
-
-func (p *busyProc) Step(in *sim.Message, _ model.ProcessSet, _ model.Time) sim.Actions {
-	var acts sim.Actions
-	if !p.sent {
-		p.sent = true
-		acts.Sends = sim.Broadcast(p.n, "seed")
-	}
-	if in != nil {
-		p.seen++
-		if p.seen%8 == 0 {
-			acts.Sends = sim.Broadcast(p.n, "echo")
-		}
-	}
-	return acts
-}
 
 // result is one benchmark's measurement. Seeds is set only for
 // sweep-shaped benchmarks whose workload size varies with -quick; the
@@ -134,7 +104,7 @@ func suite(quick bool) []struct {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mustRun(sim.Config{
-					N: 8, Automaton: busyAutomaton{}, Oracle: fd.Perfect{Delay: 2},
+					N: 8, Automaton: scenario.BusyAutomaton{}, Oracle: fd.Perfect{Delay: 2},
 					Horizon: 2000, Seed: int64(i), Policy: &sim.RandomFairPolicy{},
 				}, false)
 			}
@@ -142,7 +112,7 @@ func suite(quick bool) []struct {
 		{"sim/causal-past", 0, func(b *testing.B) {
 			tr := func() *sim.Trace {
 				tr, err := sim.Execute(sim.Config{
-					N: 8, Automaton: busyAutomaton{}, Oracle: fd.Perfect{},
+					N: 8, Automaton: scenario.BusyAutomaton{}, Oracle: fd.Perfect{},
 					Horizon: 4000, Seed: 3, Policy: &sim.RandomFairPolicy{},
 				})
 				if err != nil {
@@ -218,7 +188,7 @@ func suite(quick bool) []struct {
 		{"sweep/n64", sweepSeeds, func(b *testing.B) {
 			sc := harness.Scenario{
 				Name: "bench-n64", N: 64,
-				Automaton: busyAutomaton{},
+				Automaton: scenario.BusyAutomaton{},
 				Oracle:    fd.Perfect{Delay: 2},
 				Horizon:   2000,
 				Pattern: func() *model.FailurePattern {

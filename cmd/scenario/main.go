@@ -1,0 +1,221 @@
+// Command scenario sweeps declarative scenario files (DESIGN.md §8)
+// through the streaming harness: every *.json file in -dir is loaded,
+// compiled and swept over its declared seed range, producing one
+// SweepStats block per file in a JSON report.
+//
+// Examples:
+//
+//	go run ./cmd/scenario -dir examples/scenarios -validate
+//	go run ./cmd/scenario -dir examples/scenarios -checkpoints .ckpt -out report.json
+//	go run ./cmd/scenario -dir internal/experiments/testdata/scenarios -validate
+//
+// -validate only loads, validates and compiles every file — printing
+// each scenario's config digest and seed range — without running a
+// single seed; CI uses it to guard the checked-in experiment specs.
+//
+// With -checkpoints DIR, each scenario file gets its own checkpoint
+// (DIR/<file>.ckpt) keyed on the spec's config digest: Ctrl-C (SIGINT)
+// exits cleanly with code 130, and re-running the identical command
+// resumes mid-directory — finished scenarios short-circuit from their
+// checkpoints, the interrupted one continues from its last completed
+// chunk. Editing a scenario file invalidates only its own checkpoint,
+// which is rejected (not silently merged); delete it to start that
+// campaign over.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"realisticfd/internal/harness"
+	"realisticfd/internal/scenario"
+)
+
+// fileReport is one scenario's slot in the final JSON report.
+type fileReport struct {
+	File         string             `json:"file"`
+	Scenario     string             `json:"scenario"`
+	ConfigDigest string             `json:"config_digest"`
+	Seeds        scenario.SeedSpec  `json:"seeds"`
+	Elapsed      float64            `json:"elapsed_seconds"`
+	Stats        harness.SweepStats `json:"stats"`
+}
+
+func main() {
+	var (
+		dir      = flag.String("dir", ".", "directory of scenario *.json files")
+		validate = flag.Bool("validate", false, "only load, validate and compile the files; run nothing")
+		seeds    = flag.Int64("seeds", 0, "override the seed count of every file (0 = use each file's range)")
+		chunk    = flag.Int("chunk", harness.DefaultChunkSize, "seeds per chunk (checkpoint granularity)")
+		parallel = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+		ckptDir  = flag.String("checkpoints", "", "directory for per-scenario checkpoints (empty = none)")
+		out      = flag.String("out", "", "write the JSON report here (default: stdout)")
+	)
+	flag.Parse()
+
+	if *seeds < 0 {
+		fatal(fmt.Errorf("-seeds %d: want ≥ 0", *seeds))
+	}
+	if *chunk < 1 {
+		fatal(fmt.Errorf("-chunk %d: want ≥ 1", *chunk))
+	}
+	files, err := listScenarioFiles(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no scenario files (*.json) in %s", *dir))
+	}
+
+	if *validate {
+		os.Exit(runValidate(files))
+	}
+
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var report []fileReport
+	for _, f := range files {
+		spec, err := scenario.Load(f)
+		if err != nil {
+			fatal(err)
+		}
+		if *seeds > 0 {
+			spec.Seeds.To = spec.Seeds.From + *seeds
+		}
+		sc, err := spec.Build()
+		if err != nil {
+			fatal(err)
+		}
+		ckpt := ""
+		if *ckptDir != "" {
+			ckpt = filepath.Join(*ckptDir, strings.TrimSuffix(filepath.Base(f), ".json")+".ckpt")
+		}
+		fmt.Fprintf(os.Stderr, "scenario: %s seeds [%d, %d) (%s)\n",
+			sc.Name, spec.Seeds.From, spec.Seeds.To, filepath.Base(f))
+		start := time.Now()
+		stats, err := harness.Stream(sc,
+			harness.SeedRange{From: spec.Seeds.From, To: spec.Seeds.To},
+			harness.SweepReducer(), harness.StreamOptions{
+				Workers:    *parallel,
+				ChunkSize:  *chunk,
+				Checkpoint: ckpt,
+				Context:    ctx,
+			})
+		elapsed := time.Since(start)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "scenario: interrupted in %s after %d runs (%.1fs)\n",
+				filepath.Base(f), stats.Runs, elapsed.Seconds())
+			if ckpt != "" {
+				fmt.Fprintf(os.Stderr, "scenario: checkpoints saved; re-run the same command to resume\n")
+			}
+			os.Exit(130)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "scenario: %s done: %d runs in %.1fs, digest %s\n",
+			sc.Name, stats.Runs, elapsed.Seconds(), short(stats.Digest))
+		report = append(report, fileReport{
+			File:         filepath.Base(f),
+			Scenario:     sc.Name,
+			ConfigDigest: sc.ConfigDigest,
+			Seeds:        spec.Seeds,
+			Elapsed:      elapsed.Seconds(),
+			Stats:        stats,
+		})
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "scenario: wrote %s\n", *out)
+}
+
+// listScenarioFiles returns the sorted *.json files of dir. Sorting
+// fixes the campaign order, so interrupt/resume always walks the
+// directory the same way.
+func listScenarioFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// runValidate loads, validates and compiles every file, reporting all
+// failures (not just the first); it returns the process exit code.
+func runValidate(files []string) int {
+	bad := 0
+	for _, f := range files {
+		spec, err := scenario.Load(f)
+		if err == nil {
+			_, err = spec.Build()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %s: %v\n", filepath.Base(f), err)
+			bad++
+			continue
+		}
+		digest, err := spec.ConfigDigest()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %s: %v\n", filepath.Base(f), err)
+			bad++
+			continue
+		}
+		fmt.Printf("%s: ok %s seeds [%d, %d) %s\n",
+			filepath.Base(f), spec.Name, spec.Seeds.From, spec.Seeds.To, short(digest))
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "scenario: %d invalid file(s) of %d\n", bad, len(files))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "scenario: all %d file(s) valid\n", len(files))
+	return 0
+}
+
+func short(digest string) string {
+	if i := strings.IndexByte(digest, ':'); i >= 0 {
+		digest = digest[i+1:]
+	}
+	if len(digest) > 16 {
+		return digest[:16]
+	}
+	return digest
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scenario:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const goodSpec = `{
+  "name": "smoke",
+  "n": 4,
+  "horizon": 300,
+  "seeds": {"from": 0, "to": 4},
+  "protocol": {"kind": "busy"},
+  "oracle": {"kind": "perfect", "delay": 2}
+}
+`
+
+func TestListScenarioFilesSortedAndFiltered(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"b.json", "a.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(goodSpec), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files, err := listScenarioFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}
+	if len(files) != len(want) {
+		t.Fatalf("files = %v, want %v", files, want)
+	}
+	for i := range want {
+		if files[i] != want[i] {
+			t.Errorf("files[%d] = %s, want %s", i, files[i], want[i])
+		}
+	}
+}
+
+func TestRunValidate(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(goodSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runValidate([]string{good}); code != 0 {
+		t.Errorf("valid file: exit code %d, want 0", code)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name": "x", "n": 4, "horizon": 10, "protocol": {"kind": "paxos"}, "oracle": {"kind": "perfect"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runValidate([]string{good, bad}); code != 1 {
+		t.Errorf("invalid file present: exit code %d, want 1", code)
+	}
+}

@@ -34,38 +34,56 @@ import (
 	"realisticfd/internal/fd"
 	"realisticfd/internal/harness"
 	"realisticfd/internal/model"
+	"realisticfd/internal/scenario"
 	"realisticfd/internal/sim"
 )
 
-// busyAutomaton is the load-shaped workload shared with cmd/bench:
-// every process seeds one broadcast and re-broadcasts on every 8th
-// received message, keeping the message buffer full.
-type busyAutomaton struct{}
-
-type busyProc struct {
-	self model.ProcessID
-	n    int
-	seen int
-	sent bool
+// sweepConfig collects every flag that shapes the campaign, so the
+// validator can be exercised as a plain function.
+type sweepConfig struct {
+	Algo    string
+	FD      string
+	N       int
+	Horizon int64
+	Drop    int
+	Delay   int64
+	Seeds   int64
+	Chunk   int
 }
 
-func (busyAutomaton) Spawn(self model.ProcessID, n int) sim.Process {
-	return &busyProc{self: self, n: n}
-}
-
-func (p *busyProc) Step(in *sim.Message, _ model.ProcessSet, _ model.Time) sim.Actions {
-	var acts sim.Actions
-	if !p.sent {
-		p.sent = true
-		acts.Sends = sim.Broadcast(p.n, "seed")
+// validateFlags rejects configurations the sweep cannot honestly run —
+// each with a one-line error naming the offending flag, so a typo dies
+// before the first seed instead of silently sweeping garbage.
+func validateFlags(c sweepConfig) error {
+	switch c.Algo {
+	case "busy", "sflooding", "rotating":
+	default:
+		return fmt.Errorf("-algo %q: want busy, sflooding or rotating", c.Algo)
 	}
-	if in != nil {
-		p.seen++
-		if p.seen%8 == 0 {
-			acts.Sends = sim.Broadcast(p.n, "echo")
-		}
+	switch c.FD {
+	case "perfect", "diamond-s":
+	default:
+		return fmt.Errorf("-fd %q: want perfect or diamond-s", c.FD)
 	}
-	return acts
+	if c.N < 1 || c.N > model.MaxProcesses {
+		return fmt.Errorf("-n %d: want 1..%d", c.N, model.MaxProcesses)
+	}
+	if c.Horizon < 1 {
+		return fmt.Errorf("-horizon %d: want ≥ 1", c.Horizon)
+	}
+	if c.Drop < 0 || c.Drop > 100 {
+		return fmt.Errorf("-drop %d: want a percentage in 0..100", c.Drop)
+	}
+	if c.Delay < 0 {
+		return fmt.Errorf("-delay %d: want ≥ 0", c.Delay)
+	}
+	if c.Seeds < 1 {
+		return fmt.Errorf("-seeds %d: want ≥ 1", c.Seeds)
+	}
+	if c.Chunk < 1 {
+		return fmt.Errorf("-chunk %d: want ≥ 1", c.Chunk)
+	}
+	return nil
 }
 
 func main() {
@@ -86,6 +104,13 @@ func main() {
 	)
 	flag.Parse()
 
+	cfg := sweepConfig{
+		Algo: *algo, FD: *oracle, N: *n, Horizon: *horizon,
+		Drop: *drop, Delay: *delay, Seeds: *seeds, Chunk: *chunk,
+	}
+	if err := validateFlags(cfg); err != nil {
+		fatal(err)
+	}
 	pat, err := parsePattern(*n, *crash)
 	if err != nil {
 		fatal(err)
@@ -108,20 +133,16 @@ func main() {
 		sc.OracleFor = func(seed int64) fd.Oracle {
 			return fd.EventuallyStrong{GST: 100, Delay: 3, Seed: uint64(seed), FalseRate: 10}
 		}
-	default:
-		fatal(fmt.Errorf("unknown detector %q", *oracle))
 	}
 	switch *algo {
 	case "busy":
-		sc.Automaton = busyAutomaton{}
+		sc.Automaton = scenario.BusyAutomaton{}
 	case "sflooding":
 		sc.Automaton = consensus.SFlooding{Proposals: consensus.DistinctProposals(*n)}
 		sc.StopWhen = func() func(*sim.Trace) bool { return sim.CorrectDecided(0) }
 	case "rotating":
 		sc.Automaton = consensus.Rotating{Proposals: consensus.DistinctProposals(*n)}
 		sc.StopWhen = func() func(*sim.Trace) bool { return sim.CorrectDecided(0) }
-	default:
-		fatal(fmt.Errorf("unknown workload %q", *algo))
 	}
 	if *drop > 0 || *delay > 0 {
 		sc.Faults = &sim.LinkFaults{DropPct: *drop, MaxExtraDelay: model.Time(*delay)}

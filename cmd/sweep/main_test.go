@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"realisticfd/internal/harness"
+)
+
+func validConfig() sweepConfig {
+	return sweepConfig{
+		Algo: "busy", FD: "perfect", N: 16, Horizon: 2000,
+		Drop: 0, Delay: 0, Seeds: 10000, Chunk: harness.DefaultChunkSize,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mangle  func(*sweepConfig)
+		wantErr string // empty = must pass
+	}{
+		{"defaults", func(*sweepConfig) {}, ""},
+		{"sflooding+diamond-s", func(c *sweepConfig) { c.Algo = "sflooding"; c.FD = "diamond-s" }, ""},
+		{"rotating", func(c *sweepConfig) { c.Algo = "rotating" }, ""},
+		{"drop boundary low", func(c *sweepConfig) { c.Drop = 0 }, ""},
+		{"drop boundary high", func(c *sweepConfig) { c.Drop = 100 }, ""},
+		{"one seed", func(c *sweepConfig) { c.Seeds = 1 }, ""},
+
+		{"unknown algo", func(c *sweepConfig) { c.Algo = "paxos" }, "-algo"},
+		{"empty algo", func(c *sweepConfig) { c.Algo = "" }, "-algo"},
+		{"unknown fd", func(c *sweepConfig) { c.FD = "psychic" }, "-fd"},
+		{"drop above 100", func(c *sweepConfig) { c.Drop = 150 }, "-drop"},
+		{"negative drop", func(c *sweepConfig) { c.Drop = -5 }, "-drop"},
+		{"negative delay", func(c *sweepConfig) { c.Delay = -1 }, "-delay"},
+		{"zero seeds", func(c *sweepConfig) { c.Seeds = 0 }, "-seeds"},
+		{"negative seeds", func(c *sweepConfig) { c.Seeds = -100 }, "-seeds"},
+		{"negative chunk", func(c *sweepConfig) { c.Chunk = -1 }, "-chunk"},
+		{"zero chunk", func(c *sweepConfig) { c.Chunk = 0 }, "-chunk"},
+		{"zero n", func(c *sweepConfig) { c.N = 0 }, "-n"},
+		{"n above bitset", func(c *sweepConfig) { c.N = 400 }, "-n"},
+		{"zero horizon", func(c *sweepConfig) { c.Horizon = 0 }, "-horizon"},
+		{"negative horizon", func(c *sweepConfig) { c.Horizon = -7 }, "-horizon"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validConfig()
+			tc.mangle(&cfg)
+			err := validateFlags(cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("config %+v passed validation", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not name %s", err, tc.wantErr)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Errorf("error %q is not one line", err)
+			}
+		})
+	}
+}

@@ -11,27 +11,12 @@ import (
 	"realisticfd/internal/heartbeat"
 	"realisticfd/internal/model"
 	"realisticfd/internal/qos"
+	"realisticfd/internal/scenario"
 	"realisticfd/internal/sim"
 	"realisticfd/internal/trb"
 )
 
 const expN = 5
-
-// crashPattern builds the crash scenario shared by several
-// experiments. Each run gets its own copy (the engine extends patterns
-// in place), so experiments hand the constructor itself to the sweep
-// harness.
-func crashPattern(crashes int) *model.FailurePattern {
-	pat := model.MustPattern(expN)
-	times := []model.Time{30, 90, 150, 210}
-	for i := 0; i < crashes && i < len(times); i++ {
-		pat.MustCrash(model.ProcessID(i+1), times[i])
-	}
-	return pat
-}
-
-// rfPolicy is the per-run policy factory used by most sweeps.
-func rfPolicy() sim.Policy { return &sim.RandomFairPolicy{} }
 
 // streamAgg runs sc at every seed through the streaming harness and
 // folds each run's statistic into an additive aggregate: analyze maps
@@ -54,28 +39,6 @@ func streamAgg[S any](sc harness.Scenario, seeds int, analyze func(harness.Resul
 	return agg
 }
 
-// stopDecided is the per-run stop-predicate factory for instance 0.
-func stopDecided() func(*sim.Trace) bool { return sim.CorrectDecided(0) }
-
-// healingNet is the loss-free faulty-link plan used where liveness is
-// still asserted: bounded extra delay plus a partition that heals, so
-// every message is eventually delivered (condition (5) of §2.4 holds
-// within the horizon).
-func healingNet() *sim.LinkFaults {
-	return &sim.LinkFaults{
-		MaxExtraDelay: 6,
-		Partitions: []sim.Partition{
-			{Side: model.NewProcessSet(1, 2), From: 40, Until: 400},
-		},
-	}
-}
-
-// dropNet is the genuinely lossy plan used where only safety is
-// asserted: messages vanish forever with 15% probability.
-func dropNet() *sim.LinkFaults {
-	return &sim.LinkFaults{DropPct: 15, MaxExtraDelay: 4}
-}
-
 // E1Totality audits every decision of the S-based algorithm under
 // realistic accurate detectors for the §4.2 totality property
 // (Lemma 4.1) — on a clean network and on a delaying, partitioning
@@ -88,36 +51,32 @@ func E1Totality(seeds int) *Table {
 		Claim:   "every consensus algorithm using a realistic failure detector is total, on clean and faulty links alike",
 		Columns: []string{"detector", "network", "crashes", "runs", "decisions", "non-total", "mean t(decide)"},
 	}
-	oracles := []fd.Oracle{
-		fd.Perfect{Delay: 2},
-		fd.Scribe{},
-		fd.RealisticStrong{BaseDelay: 1, Seed: 3, JitterMax: 4},
+	oracles := []scenario.OracleSpec{
+		{Kind: scenario.OraclePerfect, Delay: 2},
+		{Kind: scenario.OracleScribe},
+		{Kind: scenario.OracleRealisticStrong, BaseDelay: 1, Seed: 3, JitterMax: 4},
 	}
 	networks := []struct {
 		label  string
-		faults *sim.LinkFaults
+		faults *scenario.FaultSpec
 	}{
 		{"fair", nil},
-		{"delay+partition", healingNet()},
+		{"delay+partition", healingNetSpec()},
 	}
 	type e1Agg struct {
 		runs, decisions, violations int
 		sumT                        int64
 	}
 	allTotal := true
+	base := baseSpec("E1")
 	for _, o := range oracles {
 		for _, net := range networks {
 			for _, crashes := range []int{0, 1, 2, 4} {
-				crashes := crashes
-				sc := harness.Scenario{
-					Name: "E1", N: expN,
-					Automaton: consensus.SFlooding{Proposals: consensus.DistinctProposals(expN)},
-					Oracle:    o, Horizon: 20000,
-					Pattern:  func() *model.FailurePattern { return crashPattern(crashes) },
-					Policy:   rfPolicy,
-					Faults:   net.faults,
-					StopWhen: stopDecided,
-				}
+				s := base
+				s.Oracle = o
+				s.Faults = net.faults
+				s.Crashes = crashSpecs(crashes, 30, 90, 150, 210)
+				sc := scenario.MustBuild(s)
 				agg := streamAgg(sc, seeds, func(r harness.Result) e1Agg {
 					if r.Err != nil {
 						return e1Agg{}
@@ -143,7 +102,7 @@ func E1Totality(seeds int) *Table {
 				if agg.decisions > 0 {
 					meanT = agg.sumT / int64(agg.decisions)
 				}
-				t.AddRow(o.Name(), net.label, fmt.Sprint(crashes), fmt.Sprint(agg.runs),
+				t.AddRow(sc.Oracle.Name(), net.label, fmt.Sprint(crashes), fmt.Sprint(agg.runs),
 					fmt.Sprint(agg.decisions), fmt.Sprint(agg.violations), fmt.Sprint(meanT))
 			}
 		}
@@ -205,31 +164,16 @@ func E3Reduction(seeds int) *Table {
 		Claim:   "piggybacked alive-tags + decisions yield strong completeness and strong accuracy",
 		Columns: []string{"crashes", "runs", "accurate", "complete", "mean emulation lag (ticks)"},
 	}
-	const maxInst = 40
 	type e3Agg struct {
 		runs, inaccurate, incomplete int
 		lagSum, lagCnt               int64
 	}
 	ok := true
+	base := baseSpec("E3")
 	for _, crashes := range []int{0, 1, 2, 4} {
-		crashes := crashes
-		sc := harness.Scenario{
-			Name: "E3", N: expN,
-			Automaton: core.Reduction{
-				Factory: func(int) sim.Automaton {
-					return consensus.SFlooding{Proposals: consensus.DistinctProposals(expN)}
-				},
-				MaxInstances: maxInst,
-			},
-			Oracle: fd.Perfect{Delay: 2}, Horizon: 120000,
-			Pattern: func() *model.FailurePattern { return crashPattern(crashes) },
-			Policy:  rfPolicy,
-			StopWhen: func() func(*sim.Trace) bool {
-				return func(tr *sim.Trace) bool {
-					return tr.Pattern.Correct().SubsetOf(tr.DecidedSet(maxInst - 1))
-				}
-			},
-		}
+		s := base
+		s.Crashes = crashSpecs(crashes, 30, 90, 150, 210)
+		sc := scenario.MustBuild(s)
 		agg := streamAgg(sc, seeds, func(r harness.Result) e3Agg {
 			if r.Err != nil {
 				return e3Agg{}
@@ -294,28 +238,16 @@ func E4TRB(seeds int) *Table {
 		Claim:   "P solves TRB with unbounded crashes; nil deliveries emulate P back",
 		Columns: []string{"crashes", "runs", "TRB spec", "TRB⇒P accurate", "TRB⇒P complete"},
 	}
-	const waves = 4
 	type e4Agg struct {
 		runs, specBad, accBad, compBad int
 	}
 	ok := true
+	base := baseSpec("E4")
+	waves := base.Protocol.Waves
 	for _, crashes := range []int{0, 1, 2, 4} {
-		crashes := crashes
-		sc := harness.Scenario{
-			Name: "E4", N: expN,
-			Automaton: trb.Broadcast{Waves: waves},
-			Oracle:    fd.Perfect{Delay: 2}, Horizon: 200000,
-			Pattern: func() *model.FailurePattern {
-				pat := model.MustPattern(expN)
-				times := []model.Time{1, 60, 120, 180}
-				for i := 0; i < crashes; i++ {
-					pat.MustCrash(model.ProcessID(i+1), times[i])
-				}
-				return pat
-			},
-			Policy:   rfPolicy,
-			StopWhen: func() func(*sim.Trace) bool { return trb.AllDelivered(waves) },
-		}
+		s := base
+		s.Crashes = crashSpecs(crashes, 1, 60, 120, 180)
+		sc := scenario.MustBuild(s)
 		agg := streamAgg(sc, seeds, func(r harness.Result) e4Agg {
 			if r.Err != nil {
 				return e4Agg{}
@@ -359,24 +291,13 @@ func E5Marabout(seeds int) *Table {
 		Columns: []string{"crashes", "runs", "solved", "decided value of", "realism"},
 	}
 	ok := true
+	base := baseSpec("E5")
 	for _, crashes := range []int{0, 1, 4} {
-		crashes := crashes
 		leader := model.ProcessID(crashes + 1) // lowest correct
 		props := consensus.DistinctProposals(expN)
-		sc := harness.Scenario{
-			Name: "E5", N: expN,
-			Automaton: consensus.MaraboutConsensus{Proposals: props},
-			Oracle:    fd.Marabout{}, Horizon: 20000,
-			Pattern: func() *model.FailurePattern {
-				pat := model.MustPattern(expN)
-				for i := 0; i < crashes; i++ {
-					pat.MustCrash(model.ProcessID(i+1), model.Time(30+5*i))
-				}
-				return pat
-			},
-			Policy:   rfPolicy,
-			StopWhen: stopDecided,
-		}
+		s := base
+		s.Crashes = crashSpecs(crashes, 30, 35, 40, 45)
+		sc := scenario.MustBuild(s)
 		type e5Agg struct{ runs, notSolved int }
 		agg := streamAgg(sc, seeds, func(r harness.Result) e5Agg {
 			if r.Err != nil {
@@ -423,16 +344,11 @@ func E6PartialPerfect(seeds int) *Table {
 
 	// Benign sweep: correct-restricted agreement must always hold.
 	benignOK, runs := true, 0
+	benign := baseSpec("E6-benign")
 	for _, crashes := range []int{0, 1, 2, 4} {
-		crashes := crashes
-		sc := harness.Scenario{
-			Name: "E6-benign", N: expN,
-			Automaton: consensus.PartialOrder{Proposals: props},
-			Oracle:    fd.PartiallyPerfect{Delay: 2}, Horizon: 20000,
-			Pattern:  func() *model.FailurePattern { return crashPattern(crashes) },
-			Policy:   rfPolicy,
-			StopWhen: stopDecided,
-		}
+		s := benign
+		s.Crashes = crashSpecs(crashes, 30, 90, 150, 210)
+		sc := scenario.MustBuild(s)
 		type e6Agg struct{ runs, bad int }
 		agg := streamAgg(sc, seeds, func(r harness.Result) e6Agg {
 			if r.Err != nil {
@@ -460,30 +376,7 @@ func E6PartialPerfect(seeds int) *Table {
 	// Adversarial run: p1 decides, its messages are withheld, it
 	// crashes — uniform agreement must break while correct-restricted
 	// holds.
-	sc := harness.Scenario{
-		Name: "E6-adversarial", N: expN,
-		Automaton: consensus.PartialOrder{Proposals: props},
-		Oracle:    fd.PartiallyPerfect{Delay: 2}, Horizon: 20000,
-		Pattern: func() *model.FailurePattern { return model.MustPattern(expN) },
-		Policy: func() sim.Policy {
-			return &sim.DelayPolicy{Target: model.NewProcessSet(1), Until: 20001}
-		},
-		AfterStep: func() func(*sim.Run, *sim.EventRecord) {
-			crashed := false // per-run adversary state
-			return func(r *sim.Run, ev *sim.EventRecord) {
-				if crashed || ev.P != 1 {
-					return
-				}
-				for _, pe := range ev.Events {
-					if pe.Kind == sim.KindDecide {
-						crashed = true
-						_ = r.Crash(1)
-					}
-				}
-			}
-		},
-		StopWhen: stopDecided,
-	}
+	sc := scenario.MustBuild(baseSpec("E6-adversarial"))
 	type advAgg struct{ notOK, violations int }
 	agg := streamAgg(sc, seeds, func(r harness.Result) advAgg {
 		if r.Err != nil {
@@ -578,23 +471,16 @@ func E8MajorityCrossover(seeds int) *Table {
 		Columns: []string{"f (of 5)", "S-flooding+P", "rotating+◇S", "rotating safety", "lossy rot. safety"},
 	}
 	ok := true
+	baseS := baseSpec("E8-sflooding")
+	baseR := baseSpec("E8-rotating")
+	baseL := baseSpec("E8-rotating-lossy")
 	for f := 0; f <= 4; f++ {
-		f := f
-		pattern := func() *model.FailurePattern {
-			pat := model.MustPattern(expN)
-			for i := 0; i < f; i++ {
-				pat.MustCrash(model.ProcessID(i+1), model.Time(5+3*i))
-			}
-			return pat
-		}
+		crashes := crashSpecs(f, 5, 8, 11, 14)
 		props := consensus.DistinctProposals(expN)
 
-		scS := harness.Scenario{
-			Name: "E8-sflooding", N: expN,
-			Automaton: consensus.SFlooding{Proposals: props},
-			Oracle:    fd.Perfect{Delay: 2}, Horizon: 20000,
-			Pattern: pattern, Policy: rfPolicy, StopWhen: stopDecided,
-		}
+		sS := baseS
+		sS.Crashes = crashes
+		scS := scenario.MustBuild(sS)
 		addInt := func(x, y int) int { return x + y }
 		sBad := streamAgg(scS, seeds, func(r harness.Result) int {
 			if r.Err != nil || r.Trace.Stopped != sim.StopCondition {
@@ -608,15 +494,9 @@ func E8MajorityCrossover(seeds int) *Table {
 		}, addInt)
 		sOK := sBad == 0
 
-		scR := harness.Scenario{
-			Name: "E8-rotating", N: expN,
-			Automaton: consensus.Rotating{Proposals: props},
-			OracleFor: func(seed int64) fd.Oracle {
-				return fd.EventuallyStrong{GST: 100, Delay: 3, Seed: uint64(seed), FalseRate: 10}
-			},
-			Horizon: 20000,
-			Pattern: pattern, Policy: rfPolicy, StopWhen: stopDecided,
-		}
+		sR := baseR
+		sR.Crashes = crashes
+		scR := scenario.MustBuild(sR)
 		type rotAgg struct{ notLive, notSafe int }
 		rot := streamAgg(scR, seeds, func(r harness.Result) rotAgg {
 			var a rotAgg
@@ -639,11 +519,9 @@ func E8MajorityCrossover(seeds int) *Table {
 		// Same rotating algorithm on a dropping link: no liveness claim
 		// survives a lossy channel without retransmission, but uniform
 		// agreement and validity must.
-		scL := scR
-		scL.Name = "E8-rotating-lossy"
-		scL.Faults = dropNet()
-		scL.StopWhen = nil
-		scL.Horizon = 6000
+		sL := baseL
+		sL.Crashes = crashes
+		scL := scenario.MustBuild(sL)
 		lossyBad := streamAgg(scL, seeds, func(r harness.Result) int {
 			if r.Err != nil {
 				return 1

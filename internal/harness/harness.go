@@ -13,6 +13,10 @@
 package harness
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +41,14 @@ import (
 type Scenario struct {
 	// Name labels the scenario in reports.
 	Name string
+	// ConfigDigest, when non-empty, is the digest of the declarative
+	// configuration the scenario was built from (scenario.Spec's
+	// ConfigDigest). It is part of a streaming checkpoint's campaign
+	// identity, so two campaigns that share a Name but differ in any
+	// configured detail refuse to resume from each other's checkpoints.
+	// Programmatic scenarios may leave it empty; Stream then falls back
+	// to Fingerprint.
+	ConfigDigest string
 	// N is the system size |Ω|.
 	N int
 	// Automaton is the algorithm under test (shared; Spawn is per-run).
@@ -116,6 +128,47 @@ func (sc Scenario) RunIn(rc *sim.RunContext, seed int64) Result {
 	return Result{Seed: seed, Trace: tr, Err: err}
 }
 
+// Fingerprint is the best-effort identity digest of a programmatic
+// scenario, used as the checkpoint campaign identity when ConfigDigest
+// is empty. It hashes every introspectable piece — name, size,
+// horizon, the fault plan, the oracle's self-description, one
+// instantiated failure pattern and the dynamic types of the automaton
+// and policy. Behavior hidden inside closures (StopWhen, AfterStep,
+// policy parameters) is beyond its reach, which is exactly why
+// declaratively built scenarios carry a real ConfigDigest instead.
+func (sc Scenario) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "name=%s\nn=%d\nhorizon=%d\n", sc.Name, sc.N, sc.Horizon)
+	fmt.Fprintf(h, "automaton=%T\n", sc.Automaton)
+	switch {
+	case sc.OracleFor != nil:
+		fmt.Fprintf(h, "oracle=per-seed:%s\n", sc.OracleFor(0).Name())
+	case sc.Oracle != nil:
+		fmt.Fprintf(h, "oracle=%s\n", sc.Oracle.Name())
+	}
+	if sc.Pattern != nil {
+		fmt.Fprintf(h, "pattern=%v\n", sc.Pattern())
+	}
+	if sc.Policy != nil {
+		fmt.Fprintf(h, "policy=%T\n", sc.Policy())
+	}
+	if sc.Faults != nil {
+		fmt.Fprintf(h, "faults=%s\n", sc.Faults.String())
+	}
+	fmt.Fprintf(h, "stop=%v\nafterstep=%v\n", sc.StopWhen != nil, sc.AfterStep != nil)
+	return "fp:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// identityDigest is the campaign identity Stream records in its
+// checkpoints: the declarative config digest when the scenario has
+// one, the programmatic fingerprint otherwise.
+func (sc Scenario) identityDigest() string {
+	if sc.ConfigDigest != "" {
+		return sc.ConfigDigest
+	}
+	return sc.Fingerprint()
+}
+
 // Result is the outcome of one seeded run.
 type Result struct {
 	Seed  int64
@@ -131,12 +184,32 @@ type SeedRange struct {
 // Seeds is the range {0, 1, ..., n-1}.
 func Seeds(n int) SeedRange { return SeedRange{From: 0, To: int64(n)} }
 
-// Count returns the number of seeds in the range.
+// Validate rejects ranges a sweep cannot honestly execute: an inverted
+// range (To < From — almost always a caller arithmetic bug; an empty
+// sweep is spelled To == From) and a range whose seed count does not
+// fit in int, which would otherwise be silently narrowed by Count and
+// misbehave downstream. Every sweep entry point (Sweep, Map, SeedMap,
+// Stream, Reduce) validates its range before running anything.
+func (sr SeedRange) Validate() error {
+	if sr.To < sr.From {
+		return fmt.Errorf("harness: inverted seed range [%d, %d)", sr.From, sr.To)
+	}
+	// uint64 subtraction is exact for To ≥ From even when the int64
+	// difference would overflow (e.g. From = MinInt64, To = MaxInt64).
+	if n := uint64(sr.To) - uint64(sr.From); n > uint64(math.MaxInt) {
+		return fmt.Errorf("harness: seed range [%d, %d) holds %d seeds, more than fit in int", sr.From, sr.To, n)
+	}
+	return nil
+}
+
+// Count returns the number of seeds in the range. It is meaningful
+// only for ranges that pass Validate; the sweep entry points enforce
+// that before counting.
 func (sr SeedRange) Count() int {
 	if sr.To <= sr.From {
 		return 0
 	}
-	return int(sr.To - sr.From)
+	return int(uint64(sr.To) - uint64(sr.From))
 }
 
 // Sweep runs the scenario at every seed in the range across a worker
@@ -167,6 +240,11 @@ func Map[T any](sc Scenario, seeds SeedRange, workers int, analyze func(Result) 
 // (the Lemma 4.1 adversary, the §6.3 collapse witness, ...). job must
 // be safe for concurrent use and deterministic in its seed.
 func SeedMap[T any](seeds SeedRange, workers int, job func(seed int64) T) []T {
+	if err := seeds.Validate(); err != nil {
+		// No error return in the retained-sweep API; an invalid range is
+		// a caller bug, reported loudly instead of misbehaving.
+		panic(err)
+	}
 	count := seeds.Count()
 	if count == 0 {
 		return nil

@@ -98,6 +98,9 @@ func Stream[A any](sc Scenario, seeds SeedRange, red Reducer[A], opts StreamOpti
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := seeds.Validate(); err != nil {
+		return red.New(), err
+	}
 	total := seeds.Count()
 	if total == 0 {
 		return red.New(), nil
@@ -110,11 +113,12 @@ func Stream[A any](sc Scenario, seeds SeedRange, red Reducer[A], opts StreamOpti
 		pending: make(map[int]A),
 		path:    opts.Checkpoint,
 		meta: checkpointMeta{
-			Schema:    checkpointSchema,
-			Scenario:  sc.Name,
-			SeedFrom:  seeds.From,
-			SeedTo:    seeds.To,
-			ChunkSize: chunk,
+			Schema:       checkpointSchema,
+			Scenario:     sc.Name,
+			ConfigDigest: sc.identityDigest(),
+			SeedFrom:     seeds.From,
+			SeedTo:       seeds.To,
+			ChunkSize:    chunk,
 		},
 	}
 	if st.path != "" {
@@ -190,17 +194,27 @@ func Stream[A any](sc Scenario, seeds SeedRange, red Reducer[A], opts StreamOpti
 	return st.prefix, nil
 }
 
-// checkpointSchema identifies the checkpoint file format.
-const checkpointSchema = "realisticfd-sweep-checkpoint/v1"
+// checkpointSchema identifies the checkpoint file format. v2 added the
+// scenario config digest to the campaign identity: v1 keyed a campaign
+// on the scenario *name* alone, so two campaigns sharing a name but
+// differing in fault plan or policy silently resumed from each other's
+// checkpoints. v1 files are rejected outright — they carry no digest
+// to verify against.
+const (
+	checkpointSchema   = "realisticfd-sweep-checkpoint/v2"
+	checkpointSchemaV1 = "realisticfd-sweep-checkpoint/v1"
+)
 
 // checkpointMeta is a campaign's identity: a checkpoint written for a
-// different scenario, seed range or chunking must not be resumed.
+// different scenario configuration, seed range or chunking must not be
+// resumed.
 type checkpointMeta struct {
-	Schema    string `json:"schema"`
-	Scenario  string `json:"scenario"`
-	SeedFrom  int64  `json:"seed_from"`
-	SeedTo    int64  `json:"seed_to"`
-	ChunkSize int    `json:"chunk_size"`
+	Schema       string `json:"schema"`
+	Scenario     string `json:"scenario"`
+	ConfigDigest string `json:"config_digest"`
+	SeedFrom     int64  `json:"seed_from"`
+	SeedTo       int64  `json:"seed_to"`
+	ChunkSize    int    `json:"chunk_size"`
 }
 
 // checkpointFile is the persisted campaign state: the prefix
@@ -320,6 +334,9 @@ func (st *streamState[A]) load() error {
 	var f checkpointFile
 	if err := json.Unmarshal(data, &f); err != nil {
 		return fmt.Errorf("harness: parse checkpoint %s: %w", st.path, err)
+	}
+	if f.Schema == checkpointSchemaV1 {
+		return fmt.Errorf("harness: checkpoint %s uses the retired v1 format, which cannot verify the scenario configuration; delete it and restart the campaign", st.path)
 	}
 	if f.checkpointMeta != st.meta {
 		return fmt.Errorf("harness: checkpoint %s is for campaign %+v, not %+v",

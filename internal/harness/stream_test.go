@@ -3,10 +3,12 @@ package harness
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -161,6 +163,105 @@ func TestCheckpointMismatchRejected(t *testing.T) {
 	}
 	if _, err := Stream(sc, Seeds(8), SweepReducer(), StreamOptions{ChunkSize: 2, Checkpoint: path}); err == nil {
 		t.Fatal("chunk-size mismatch was not rejected")
+	}
+}
+
+// TestCheckpointConfigChangeRejected is the regression test for the
+// name-only checkpoint identity bug: two campaigns with the same
+// scenario name but different fault plans used to resume from each
+// other's checkpoints, silently merging incompatible runs. The v2
+// identity includes a config digest (declarative ConfigDigest, or the
+// programmatic Fingerprint fallback), so the same name with a changed
+// drop% must refuse to resume.
+func TestCheckpointConfigChangeRejected(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "config.ckpt")
+	sc := testScenario(&sim.LinkFaults{DropPct: 10})
+	if _, err := Stream(sc, Seeds(8), SweepReducer(), StreamOptions{ChunkSize: 4, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+
+	changed := testScenario(&sim.LinkFaults{DropPct: 30}) // same Name, different faults
+	if changed.Name != sc.Name {
+		t.Fatalf("test scenarios must share a name: %q vs %q", changed.Name, sc.Name)
+	}
+	if _, err := Stream(changed, Seeds(8), SweepReducer(), StreamOptions{ChunkSize: 4, Checkpoint: path}); err == nil {
+		t.Fatal("changed drop%% under the same scenario name was not rejected")
+	}
+
+	// The identical configuration still short-circuits on the completed
+	// checkpoint.
+	if _, err := Stream(testScenario(&sim.LinkFaults{DropPct: 10}), Seeds(8), SweepReducer(),
+		StreamOptions{ChunkSize: 4, Checkpoint: path}); err != nil {
+		t.Fatalf("identical campaign rejected its own checkpoint: %v", err)
+	}
+
+	// A declarative ConfigDigest overrides the fingerprint and is
+	// checked the same way.
+	digested := sc
+	digested.ConfigDigest = "sha256:aaaa"
+	path2 := filepath.Join(t.TempDir(), "digest.ckpt")
+	if _, err := Stream(digested, Seeds(8), SweepReducer(), StreamOptions{ChunkSize: 4, Checkpoint: path2}); err != nil {
+		t.Fatal(err)
+	}
+	digested.ConfigDigest = "sha256:bbbb"
+	if _, err := Stream(digested, Seeds(8), SweepReducer(), StreamOptions{ChunkSize: 4, Checkpoint: path2}); err == nil {
+		t.Fatal("changed ConfigDigest under the same scenario name was not rejected")
+	}
+}
+
+// TestCheckpointV1Rejected pins the schema migration: a v1 checkpoint
+// has no config digest to verify, so resuming from one must fail with
+// a clear error rather than fall through to a field-by-field mismatch.
+func TestCheckpointV1Rejected(t *testing.T) {
+	t.Parallel()
+	sc := testScenario(nil)
+	path := filepath.Join(t.TempDir(), "v1.ckpt")
+	v1 := []byte(`{"schema":"realisticfd-sweep-checkpoint/v1","scenario":"sflooding","seed_from":0,"seed_to":8,"chunk_size":4,"complete":true,"next_chunk":2,"prefix":{}}`)
+	if err := os.WriteFile(path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Stream(sc, Seeds(8), SweepReducer(), StreamOptions{ChunkSize: 4, Checkpoint: path})
+	if err == nil {
+		t.Fatal("v1 checkpoint was not rejected")
+	}
+	if !strings.Contains(err.Error(), "v1") {
+		t.Fatalf("v1 rejection error does not name the retired format: %v", err)
+	}
+}
+
+// TestSeedRangeValidation pins the range guard: inverted ranges and
+// counts that overflow int are rejected at the sweep entry points
+// instead of misbehaving downstream.
+func TestSeedRangeValidation(t *testing.T) {
+	t.Parallel()
+	inverted := SeedRange{From: 10, To: 3}
+	if err := inverted.Validate(); err == nil {
+		t.Fatal("inverted range validated")
+	}
+	if _, err := Stream(testScenario(nil), inverted, SweepReducer(), StreamOptions{}); err == nil {
+		t.Fatal("Stream accepted an inverted range")
+	}
+	overflow := SeedRange{From: math.MinInt64, To: math.MaxInt64}
+	if err := overflow.Validate(); err == nil {
+		t.Fatal("overflowing range validated")
+	}
+	if _, err := Stream(testScenario(nil), overflow, SweepReducer(), StreamOptions{}); err == nil {
+		t.Fatal("Stream accepted a range whose count overflows int")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SeedMap did not reject an inverted range")
+			}
+		}()
+		SeedMap(inverted, 1, func(seed int64) int { return 0 })
+	}()
+	if err := (SeedRange{From: 5, To: 5}).Validate(); err != nil {
+		t.Fatalf("empty range rejected: %v", err)
+	}
+	if got := Sweep(testScenario(nil), SeedRange{From: 5, To: 5}, 1); got != nil {
+		t.Fatalf("empty range swept %d runs", len(got))
 	}
 }
 

@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"fmt"
+
+	"realisticfd/internal/consensus"
+	"realisticfd/internal/core"
+	"realisticfd/internal/fd"
+	"realisticfd/internal/harness"
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+	"realisticfd/internal/trb"
+)
+
+// Build compiles the spec into a runnable harness.Scenario: factories
+// for the stateful per-run pieces, the generated topology folded into
+// the fault plan, and the spec's ConfigDigest attached so streaming
+// checkpoints key on the full configuration. The spec is validated
+// first; a spec that came through Parse/Load cannot fail here.
+func (s Spec) Build() (harness.Scenario, error) {
+	s.normalize()
+	if err := s.Validate(); err != nil {
+		return harness.Scenario{}, err
+	}
+	digest, err := s.ConfigDigest()
+	if err != nil {
+		return harness.Scenario{}, err
+	}
+	sc := harness.Scenario{
+		Name:         s.Name,
+		ConfigDigest: digest,
+		N:            s.N,
+		Horizon:      model.Time(s.Horizon),
+	}
+
+	crashes := s.Crashes
+	n := s.N
+	sc.Pattern = func() *model.FailurePattern {
+		pat := model.MustPattern(n)
+		for _, c := range crashes {
+			pat.MustCrash(model.ProcessID(c.Process), model.Time(c.At))
+		}
+		return pat
+	}
+
+	switch o := s.Oracle; o.Kind {
+	case OraclePerfect:
+		sc.Oracle = fd.Perfect{Delay: model.Time(o.Delay)}
+	case OracleScribe:
+		sc.Oracle = fd.Scribe{}
+	case OracleMarabout:
+		sc.Oracle = fd.Marabout{}
+	case OraclePartiallyPerfect:
+		sc.Oracle = fd.PartiallyPerfect{Delay: model.Time(o.Delay)}
+	case OracleRealisticStrong:
+		sc.Oracle = fd.RealisticStrong{BaseDelay: model.Time(o.BaseDelay), Seed: o.Seed, JitterMax: model.Time(o.JitterMax)}
+	case OracleEventuallyStrong:
+		if o.PerSeed {
+			sc.OracleFor = func(seed int64) fd.Oracle {
+				return fd.EventuallyStrong{GST: model.Time(o.GST), Delay: model.Time(o.Delay), Seed: uint64(seed), FalseRate: o.FalseRate}
+			}
+		} else {
+			sc.Oracle = fd.EventuallyStrong{GST: model.Time(o.GST), Delay: model.Time(o.Delay), Seed: o.Seed, FalseRate: o.FalseRate}
+		}
+	}
+
+	switch p := s.Protocol; p.Kind {
+	case ProtocolSFlooding:
+		sc.Automaton = consensus.SFlooding{Proposals: consensus.DistinctProposals(n)}
+	case ProtocolRotating:
+		sc.Automaton = consensus.Rotating{Proposals: consensus.DistinctProposals(n)}
+	case ProtocolMarabout:
+		sc.Automaton = consensus.MaraboutConsensus{Proposals: consensus.DistinctProposals(n)}
+	case ProtocolPartialOrder:
+		sc.Automaton = consensus.PartialOrder{Proposals: consensus.DistinctProposals(n)}
+	case ProtocolTRB:
+		sc.Automaton = trb.Broadcast{Waves: p.Waves}
+	case ProtocolReduction:
+		sc.Automaton = core.Reduction{
+			Factory: func(int) sim.Automaton {
+				return consensus.SFlooding{Proposals: consensus.DistinctProposals(n)}
+			},
+			MaxInstances: p.MaxInstances,
+		}
+	case ProtocolBusy:
+		sc.Automaton = BusyAutomaton{}
+	}
+
+	switch p := s.Policy; p.Kind {
+	case PolicyRandomFair:
+		sc.Policy = func() sim.Policy { return &sim.RandomFairPolicy{} }
+	case PolicyFair:
+		sc.Policy = func() sim.Policy { return &sim.FairPolicy{} }
+	case PolicyDelay:
+		target := model.NewProcessSet()
+		for _, id := range p.Target {
+			target = target.Add(model.ProcessID(id))
+		}
+		until := model.Time(p.Until)
+		sc.Policy = func() sim.Policy {
+			return &sim.DelayPolicy{Target: target, Until: until}
+		}
+	}
+
+	faults, err := s.buildFaults()
+	if err != nil {
+		return harness.Scenario{}, err
+	}
+	sc.Faults = faults
+
+	switch st := s.Stop; st.Kind {
+	case StopNone:
+	case StopDecided:
+		instance := st.Instance
+		sc.StopWhen = func() func(*sim.Trace) bool { return sim.CorrectDecided(instance) }
+	case StopAllDelivered:
+		waves := s.Protocol.Waves
+		sc.StopWhen = func() func(*sim.Trace) bool { return trb.AllDelivered(waves) }
+	}
+
+	if h := s.AfterStep; h != nil && h.Kind == HookCrashOnDecide {
+		victim := model.ProcessID(h.Process)
+		sc.AfterStep = func() func(*sim.Run, *sim.EventRecord) {
+			crashed := false // per-run adversary state
+			return func(r *sim.Run, ev *sim.EventRecord) {
+				if crashed || ev.P != victim {
+					return
+				}
+				for _, pe := range ev.Events {
+					if pe.Kind == sim.KindDecide {
+						crashed = true
+						_ = r.Crash(victim)
+					}
+				}
+			}
+		}
+	}
+	return sc, nil
+}
+
+// MustBuild is Build for specs known statically valid (embedded
+// testdata, specs assembled by trusted code); it panics on error.
+func MustBuild(s Spec) harness.Scenario {
+	sc, err := s.Build()
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// buildFaults compiles the fault plan against the generated topology:
+// side partitions become cuts of the crossing edges, explicit cuts are
+// taken as given (Validate already checked they exist), and a sparse
+// topology contributes one permanent cut of every non-edge. Returns
+// nil when nothing perturbs the network.
+func (s Spec) buildFaults() (*sim.LinkFaults, error) {
+	edges, err := s.Topology.Edges(s.N)
+	if err != nil {
+		return nil, err
+	}
+	var lf sim.LinkFaults
+	if s.Faults != nil {
+		lf.DropPct = s.Faults.DropPct
+		lf.MaxExtraDelay = model.Time(s.Faults.MaxExtraDelay)
+		for i, p := range s.Faults.Partitions {
+			cut := sim.EdgeCut{From: model.Time(p.From), Until: model.Time(p.Until)}
+			switch {
+			case len(p.Side) > 0:
+				side := model.NewProcessSet()
+				for _, id := range p.Side {
+					side = side.Add(model.ProcessID(id))
+				}
+				for _, e := range edges {
+					if side.Has(e.A) != side.Has(e.B) {
+						cut.Edges = append(cut.Edges, e)
+					}
+				}
+			default:
+				for _, e := range p.Cut {
+					k := canonEdge(e[0], e[1])
+					cut.Edges = append(cut.Edges, sim.Edge{A: model.ProcessID(k.a), B: model.ProcessID(k.b)})
+				}
+			}
+			if len(cut.Edges) == 0 {
+				return nil, fmt.Errorf("scenario %q: faults: partition %d severs no topology edge", s.Name, i)
+			}
+			lf.Cuts = append(lf.Cuts, cut)
+		}
+	}
+	if missing := s.missingEdges(edges); len(missing) > 0 {
+		// A sparse topology is a permanent severing of its non-links;
+		// Until reaches past the horizon so the cut never heals.
+		lf.Cuts = append(lf.Cuts, sim.EdgeCut{Edges: missing, From: 0, Until: model.Time(s.Horizon) + 1})
+	}
+	if !lf.Active() {
+		return nil, nil
+	}
+	return &lf, nil
+}
+
+// missingEdges returns the complement of the topology's edge set: the
+// pairs of processes with no link between them.
+func (s Spec) missingEdges(edges []sim.Edge) []sim.Edge {
+	have := make(map[edgeKey]bool, len(edges))
+	for _, e := range edges {
+		have[canonEdge(int(e.A), int(e.B))] = true
+	}
+	var missing []sim.Edge
+	for a := 1; a <= s.N; a++ {
+		for b := a + 1; b <= s.N; b++ {
+			if !have[edgeKey{a: a, b: b}] {
+				missing = append(missing, sim.Edge{A: model.ProcessID(a), B: model.ProcessID(b)})
+			}
+		}
+	}
+	return missing
+}

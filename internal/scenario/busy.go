@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+// BusyAutomaton is the load-shaped broadcast workload behind the
+// "busy" protocol kind (and the cmd/sweep default): every process
+// seeds one broadcast and re-broadcasts on every 8th received message,
+// keeping the message buffer full for the whole horizon. It decides
+// nothing — its job is to exercise the transport and fault layers at
+// scale.
+type BusyAutomaton struct{}
+
+type busyProc struct {
+	self model.ProcessID
+	n    int
+	seen int
+	sent bool
+}
+
+// Spawn implements sim.Automaton.
+func (BusyAutomaton) Spawn(self model.ProcessID, n int) sim.Process {
+	return &busyProc{self: self, n: n}
+}
+
+// Step implements sim.Process.
+func (p *busyProc) Step(in *sim.Message, _ model.ProcessSet, _ model.Time) sim.Actions {
+	var acts sim.Actions
+	if !p.sent {
+		p.sent = true
+		acts.Sends = sim.Broadcast(p.n, "seed")
+	}
+	if in != nil {
+		p.seen++
+		if p.seen%8 == 0 {
+			acts.Sends = sim.Broadcast(p.n, "echo")
+		}
+	}
+	return acts
+}

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"realisticfd/internal/model"
+	"realisticfd/internal/sim"
+)
+
+// edgeKey is the canonical {a, b} (a < b) form used for set
+// membership; process IDs are 1-based ints here because the spec layer
+// works on raw JSON integers.
+type edgeKey struct{ a, b int }
+
+func canonEdge(a, b int) edgeKey {
+	if b < a {
+		a, b = b, a
+	}
+	return edgeKey{a: a, b: b}
+}
+
+// Edges generates the undirected edge set of the topology over n
+// processes, sorted lexicographically. Generation is deterministic: a
+// random topology is a pure function of (kind, n, seed, edge_prob).
+func (t TopologySpec) Edges(n int) ([]sim.Edge, error) {
+	set, err := t.edgeSet(n)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]edgeKey, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	edges := make([]sim.Edge, len(keys))
+	for i, k := range keys {
+		edges[i] = sim.Edge{A: model.ProcessID(k.a), B: model.ProcessID(k.b)}
+	}
+	return edges, nil
+}
+
+// edgeSet generates the canonical edge-membership set of the topology.
+func (t TopologySpec) edgeSet(n int) (map[edgeKey]bool, error) {
+	kind := t.Kind
+	if kind == "" {
+		kind = TopologyComplete
+	}
+	set := make(map[edgeKey]bool)
+	switch kind {
+	case TopologyComplete:
+		for a := 1; a <= n; a++ {
+			for b := a + 1; b <= n; b++ {
+				set[edgeKey{a: a, b: b}] = true
+			}
+		}
+	case TopologyRing:
+		for a := 1; a < n; a++ {
+			set[edgeKey{a: a, b: a + 1}] = true
+		}
+		if n > 2 {
+			set[edgeKey{a: 1, b: n}] = true
+		}
+	case TopologyTree:
+		deg := t.Degree
+		if deg == 0 {
+			deg = 2
+		}
+		if deg < 1 {
+			return nil, fmt.Errorf("topology tree: degree = %d must be ≥ 1", t.Degree)
+		}
+		for i := 2; i <= n; i++ {
+			parent := (i-2)/deg + 1
+			set[canonEdge(parent, i)] = true
+		}
+	case TopologyRandom:
+		if t.EdgeProb < 0 || t.EdgeProb > 100 {
+			return nil, fmt.Errorf("topology random: edge_prob = %d%% outside [0, 100]", t.EdgeProb)
+		}
+		rng := rand.New(rand.NewSource(t.Seed))
+		// A random spanning tree keeps the graph connected: each process
+		// links to one uniformly chosen earlier process.
+		for i := 2; i <= n; i++ {
+			set[canonEdge(1+rng.Intn(i-1), i)] = true
+		}
+		// Then every remaining pair joins independently with EdgeProb%.
+		for a := 1; a <= n; a++ {
+			for b := a + 1; b <= n; b++ {
+				if set[edgeKey{a: a, b: b}] {
+					continue
+				}
+				if rng.Intn(100) < t.EdgeProb {
+					set[edgeKey{a: a, b: b}] = true
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q", t.Kind)
+	}
+	return set, nil
+}

@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"fmt"
+
+	"realisticfd/internal/model"
+)
+
+// Kind names accepted by the spec. Collected as constants so the
+// builder, the validator and the docs cannot drift apart.
+const (
+	ProtocolSFlooding    = "sflooding"
+	ProtocolRotating     = "rotating"
+	ProtocolMarabout     = "marabout"
+	ProtocolPartialOrder = "partial-order"
+	ProtocolTRB          = "trb"
+	ProtocolReduction    = "reduction"
+	ProtocolBusy         = "busy"
+
+	OraclePerfect          = "perfect"
+	OracleScribe           = "scribe"
+	OracleMarabout         = "marabout"
+	OraclePartiallyPerfect = "partially-perfect"
+	OracleRealisticStrong  = "realistic-strong"
+	OracleEventuallyStrong = "eventually-strong"
+
+	TopologyComplete = "complete"
+	TopologyRing     = "ring"
+	TopologyTree     = "tree"
+	TopologyRandom   = "random"
+
+	PolicyRandomFair = "random-fair"
+	PolicyFair       = "fair"
+	PolicyDelay      = "delay"
+
+	StopNone         = "none"
+	StopDecided      = "decided"
+	StopAllDelivered = "all-delivered"
+
+	HookCrashOnDecide = "crash-on-decide"
+)
+
+// Validate checks every constraint a well-formed spec must satisfy; it
+// reports the first violation. Parse validates automatically; call it
+// directly on specs assembled in Go.
+func (s Spec) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: name is required")
+	}
+	if s.N < 1 || s.N > model.MaxProcesses {
+		return fail("n = %d outside [1, %d]", s.N, model.MaxProcesses)
+	}
+	if s.Horizon <= 0 {
+		return fail("horizon = %d must be positive", s.Horizon)
+	}
+	if s.Seeds.To < s.Seeds.From {
+		return fail("seeds: inverted range [%d, %d)", s.Seeds.From, s.Seeds.To)
+	}
+
+	switch s.Protocol.Kind {
+	case ProtocolSFlooding, ProtocolRotating, ProtocolMarabout, ProtocolPartialOrder, ProtocolBusy:
+	case ProtocolTRB:
+		if s.Protocol.Waves < 1 {
+			return fail("protocol trb: waves = %d must be ≥ 1", s.Protocol.Waves)
+		}
+	case ProtocolReduction:
+		if s.Protocol.MaxInstances < 1 {
+			return fail("protocol reduction: max_instances = %d must be ≥ 1", s.Protocol.MaxInstances)
+		}
+	case "":
+		return fail("protocol: kind is required")
+	default:
+		return fail("protocol: unknown kind %q", s.Protocol.Kind)
+	}
+
+	switch s.Oracle.Kind {
+	case OraclePerfect, OracleScribe, OracleMarabout, OraclePartiallyPerfect, OracleRealisticStrong:
+		if s.Oracle.PerSeed {
+			return fail("oracle %s: per_seed applies only to eventually-strong", s.Oracle.Kind)
+		}
+	case OracleEventuallyStrong:
+		if s.Oracle.FalseRate < 0 || s.Oracle.FalseRate > 100 {
+			return fail("oracle eventually-strong: false_rate = %d%% outside [0, 100]", s.Oracle.FalseRate)
+		}
+	case "":
+		return fail("oracle: kind is required")
+	default:
+		return fail("oracle: unknown kind %q", s.Oracle.Kind)
+	}
+	if s.Oracle.Delay < 0 || s.Oracle.BaseDelay < 0 || s.Oracle.JitterMax < 0 || s.Oracle.GST < 0 {
+		return fail("oracle %s: latencies must be non-negative", s.Oracle.Kind)
+	}
+
+	seen := make(map[int]bool, len(s.Crashes))
+	for _, c := range s.Crashes {
+		if c.Process < 1 || c.Process > s.N {
+			return fail("crashes: process %d outside [1, %d]", c.Process, s.N)
+		}
+		if seen[c.Process] {
+			return fail("crashes: process %d crashes twice", c.Process)
+		}
+		seen[c.Process] = true
+		if c.At < 0 {
+			return fail("crashes: process %d crashes at negative time %d", c.Process, c.At)
+		}
+	}
+
+	edges, err := s.Topology.edgeSet(s.N)
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	if f := s.Faults; f != nil {
+		if f.DropPct < 0 || f.DropPct > 100 {
+			return fail("faults: drop_pct = %d%% outside [0, 100]", f.DropPct)
+		}
+		if f.MaxExtraDelay < 0 {
+			return fail("faults: max_extra_delay = %d must be non-negative", f.MaxExtraDelay)
+		}
+		for i, p := range f.Partitions {
+			if (len(p.Side) > 0) == (len(p.Cut) > 0) {
+				return fail("faults: partition %d must give exactly one of side and cut", i)
+			}
+			for _, id := range p.Side {
+				if id < 1 || id > s.N {
+					return fail("faults: partition %d: side process %d outside [1, %d]", i, id, s.N)
+				}
+			}
+			for _, e := range p.Cut {
+				a, b := e[0], e[1]
+				if a < 1 || a > s.N || b < 1 || b > s.N || a == b {
+					return fail("faults: partition %d: bad edge [%d, %d]", i, a, b)
+				}
+				if !edges[canonEdge(a, b)] {
+					return fail("faults: partition %d: edge [%d, %d] does not exist in the %s topology", i, a, b, s.Topology.Kind)
+				}
+			}
+		}
+	}
+
+	switch s.Policy.Kind {
+	case PolicyRandomFair, PolicyFair, "": // "" normalizes to random-fair
+	case PolicyDelay:
+		if len(s.Policy.Target) == 0 {
+			return fail("policy delay: target is required")
+		}
+		for _, id := range s.Policy.Target {
+			if id < 1 || id > s.N {
+				return fail("policy delay: target process %d outside [1, %d]", id, s.N)
+			}
+		}
+	default:
+		return fail("policy: unknown kind %q", s.Policy.Kind)
+	}
+
+	switch s.Stop.Kind {
+	case StopNone, "": // "" normalizes to none
+	case StopDecided:
+		if s.Stop.Instance < 0 {
+			return fail("stop decided: instance = %d must be ≥ 0", s.Stop.Instance)
+		}
+	case StopAllDelivered:
+		if s.Protocol.Kind != ProtocolTRB {
+			return fail("stop all-delivered requires the trb protocol, not %q", s.Protocol.Kind)
+		}
+	default:
+		return fail("stop: unknown kind %q", s.Stop.Kind)
+	}
+
+	if h := s.AfterStep; h != nil {
+		switch h.Kind {
+		case HookCrashOnDecide:
+			if h.Process < 1 || h.Process > s.N {
+				return fail("after_step crash-on-decide: process %d outside [1, %d]", h.Process, s.N)
+			}
+		default:
+			return fail("after_step: unknown kind %q", h.Kind)
+		}
+	}
+	return nil
+}

@@ -34,6 +34,66 @@ func (pt Partition) String() string {
 	return fmt.Sprintf("%v|rest@%d..%d", pt.Side, pt.From, pt.Until)
 }
 
+// Edge is one undirected link {A, B} of a communication graph. The
+// scenario DSL generates topologies as edge sets and expresses
+// partitions as cuts of those sets (DESIGN.md §8).
+type Edge struct {
+	A, B model.ProcessID
+}
+
+// Canon returns the edge with its endpoints ordered A ≤ B, the
+// canonical form used for set membership.
+func (e Edge) Canon() Edge {
+	if e.B < e.A {
+		return Edge{A: e.B, B: e.A}
+	}
+	return e
+}
+
+// String renders the edge, e.g. "p1-p4".
+func (e Edge) String() string {
+	return fmt.Sprintf("%v-%v", e.A, e.B)
+}
+
+// EdgeCut is a topology-aware partition: while From ≤ t < Until no
+// message crosses any edge of Edges, in either direction. At Until the
+// cut heals and the withheld traffic becomes deliverable again. Unlike
+// Partition, which severs a ProcessSet from its complement, an EdgeCut
+// severs an explicit edge set — typically a cut of a generated graph —
+// so arbitrary, non-bipartition link failures are expressible.
+type EdgeCut struct {
+	// Edges are the severed links (direction-insensitive).
+	Edges []Edge
+	// From is the first severed instant.
+	From model.Time
+	// Until is the heal time; Until ≤ From makes the cut inert.
+	Until model.Time
+}
+
+// Blocks reports whether the cut forbids delivering a message from p
+// to q at time t.
+func (ec EdgeCut) Blocks(p, q model.ProcessID, t model.Time) bool {
+	if t < ec.From || t >= ec.Until {
+		return false
+	}
+	want := Edge{A: p, B: q}.Canon()
+	for _, e := range ec.Edges {
+		if e.Canon() == want {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the cut compactly.
+func (ec EdgeCut) String() string {
+	es := make([]string, len(ec.Edges))
+	for i, e := range ec.Edges {
+		es[i] = e.String()
+	}
+	return fmt.Sprintf("cut{%s}@%d..%d", strings.Join(es, " "), ec.From, ec.Until)
+}
+
 // LinkFaults describes a composable set of link-level faults layered on
 // top of any scheduling policy by FaultyPolicy. Every fault decision is
 // a pure function of the fault seed and the message identity, so a run
@@ -44,7 +104,9 @@ func (pt Partition) String() string {
 // retransmission, so condition (5) of §2.4 (every message to a correct
 // process is eventually received) no longer holds and only safety
 // properties should be asserted. MaxExtraDelay and healed Partitions
-// preserve eventual delivery within a sufficient horizon.
+// and Cuts preserve eventual delivery within a sufficient horizon; a
+// cut whose Until lies at or beyond the horizon permanently severs its
+// links (how the scenario DSL embeds sparse topologies).
 type LinkFaults struct {
 	// DropPct is the percentage (0..100) of messages lost forever.
 	DropPct int
@@ -54,11 +116,14 @@ type LinkFaults struct {
 	MaxExtraDelay model.Time
 	// Partitions are scripted cuts, each healing at its Until time.
 	Partitions []Partition
+	// Cuts are topology-aware partitions: scripted severings of
+	// explicit edge sets.
+	Cuts []EdgeCut
 }
 
 // Active reports whether the fault plan perturbs anything at all.
 func (lf LinkFaults) Active() bool {
-	return lf.DropPct > 0 || lf.MaxExtraDelay > 0 || len(lf.Partitions) > 0
+	return lf.DropPct > 0 || lf.MaxExtraDelay > 0 || len(lf.Partitions) > 0 || len(lf.Cuts) > 0
 }
 
 // LossFree reports whether every message is eventually deliverable
@@ -86,6 +151,13 @@ func (lf LinkFaults) String() string {
 			ps[i] = p.String()
 		}
 		parts = append(parts, "part=["+strings.Join(ps, " ")+"]")
+	}
+	if len(lf.Cuts) > 0 {
+		cs := make([]string, len(lf.Cuts))
+		for i, c := range lf.Cuts {
+			cs[i] = c.String()
+		}
+		parts = append(parts, "cuts=["+strings.Join(cs, " ")+"]")
 	}
 	return "faults{" + strings.Join(parts, ",") + "}"
 }
@@ -119,6 +191,10 @@ type FaultyPolicy struct {
 	seeded  bool
 	visible []*Message // scratch: reused per PickMessage call
 	origIdx []int      // scratch: visible[i] = pending[origIdx[i]]
+	// cutSets holds the canonicalized edge set of each Faults.Cuts
+	// entry, built lazily so membership tests stay O(1) per message
+	// even for the large cuts sparse topologies compile into.
+	cutSets []map[Edge]struct{}
 	// verdicts caches the (drop, ready-time) lottery per message ID so
 	// a delay-blocked message is hashed once, not once per step. The
 	// cache stays bounded by the in-flight message count: the engine
@@ -194,6 +270,23 @@ func (fp *FaultyPolicy) verdict(m *Message) faultVerdict {
 	return v
 }
 
+// cutSet returns the canonical edge set of cut i, building it on
+// first use.
+func (fp *FaultyPolicy) cutSet(i int) map[Edge]struct{} {
+	if fp.cutSets == nil {
+		fp.cutSets = make([]map[Edge]struct{}, len(fp.Faults.Cuts))
+	}
+	if fp.cutSets[i] == nil {
+		edges := fp.Faults.Cuts[i].Edges
+		set := make(map[Edge]struct{}, len(edges))
+		for _, e := range edges {
+			set[e.Canon()] = struct{}{}
+		}
+		fp.cutSets[i] = set
+	}
+	return fp.cutSets[i]
+}
+
 // Deliverable reports whether m may reach its destination at time t
 // under the fault plan (assuming the fault seed is fixed).
 func (fp *FaultyPolicy) Deliverable(m *Message, t model.Time) bool {
@@ -202,6 +295,14 @@ func (fp *FaultyPolicy) Deliverable(m *Message, t model.Time) bool {
 	}
 	for _, pt := range fp.Faults.Partitions {
 		if pt.Blocks(m.From, m.To, t) {
+			return false
+		}
+	}
+	for i, ec := range fp.Faults.Cuts {
+		if t < ec.From || t >= ec.Until {
+			continue
+		}
+		if _, cut := fp.cutSet(i)[Edge{A: m.From, B: m.To}.Canon()]; cut {
 			return false
 		}
 	}

@@ -216,6 +216,97 @@ func TestFaultyPolicyComposesWithInner(t *testing.T) {
 	}
 }
 
+// TestEdgeCutBlocksOnlyCutEdges checks the edge-cut predicate: only
+// the listed edges are severed, in both directions, only inside the
+// window.
+func TestEdgeCutBlocksOnlyCutEdges(t *testing.T) {
+	t.Parallel()
+	ec := EdgeCut{Edges: []Edge{{A: 1, B: 3}, {A: 4, B: 2}}, From: 10, Until: 20}
+	cases := []struct {
+		from, to model.ProcessID
+		t        model.Time
+		blocked  bool
+	}{
+		{1, 3, 15, true},  // cut edge, inside window
+		{3, 1, 15, true},  // symmetric
+		{2, 4, 15, true},  // listed in non-canonical order
+		{1, 2, 15, false}, // edge not in the cut
+		{3, 4, 15, false}, // edge not in the cut
+		{1, 3, 9, false},  // before the cut
+		{1, 3, 20, false}, // healed
+	}
+	for _, c := range cases {
+		if got := ec.Blocks(c.from, c.to, c.t); got != c.blocked {
+			t.Errorf("Blocks(%v→%v @%d) = %v, want %v", c.from, c.to, c.t, got, c.blocked)
+		}
+	}
+}
+
+// TestEdgeCutEquivalentToPartition checks that a cut listing exactly
+// the cross-cut edges of a bipartition replays byte-identically to the
+// classic ProcessSet partition: the two encodings must be two spellings
+// of the same fault plan.
+func TestEdgeCutEquivalentToPartition(t *testing.T) {
+	t.Parallel()
+	side := model.NewProcessSet(1, 2)
+	var crossing []Edge
+	for a := model.ProcessID(1); a <= 5; a++ {
+		for b := a + 1; b <= 5; b++ {
+			if side.Has(a) != side.Has(b) {
+				crossing = append(crossing, Edge{A: a, B: b})
+			}
+		}
+	}
+	run := func(lf LinkFaults) string {
+		tr, err := Execute(Config{
+			N: 5, Automaton: broadcastAutomaton{}, Oracle: fd.Perfect{},
+			Horizon: 400, Seed: 11,
+			Policy: &FaultyPolicy{Faults: lf},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Digest()
+	}
+	classic := run(LinkFaults{Partitions: []Partition{{Side: side, From: 1, Until: 100}}})
+	cut := run(LinkFaults{Cuts: []EdgeCut{{Edges: crossing, From: 1, Until: 100}}})
+	if classic != cut {
+		t.Fatalf("edge-cut run diverged from equivalent partition run:\n cut     %s\n classic %s", cut, classic)
+	}
+}
+
+// TestFaultyPolicyCutDelivery runs the broadcast automaton under a
+// healing single-edge cut: only traffic on the severed link is
+// withheld, and it flows after the heal.
+func TestFaultyPolicyCutDelivery(t *testing.T) {
+	t.Parallel()
+	lf := LinkFaults{Cuts: []EdgeCut{{Edges: []Edge{{A: 1, B: 2}}, From: 1, Until: 100}}}
+	if !lf.Active() {
+		t.Fatal("cut-only plan reports inactive")
+	}
+	tr, err := Execute(Config{
+		N: 5, Automaton: broadcastAutomaton{}, Oracle: fd.Perfect{},
+		Horizon: 400, Seed: 11,
+		Policy: &FaultyPolicy{Faults: lf},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := model.EmptySet()
+	for _, i := range tr.EventsOf(2) {
+		ev := tr.Events[i]
+		if ev.Msg != nil && ev.Msg.From == 1 && ev.T < 100 {
+			t.Fatalf("severed-link message p1→p2 delivered at t=%d, inside cut window", ev.T)
+		}
+	}
+	for _, le := range tr.ProtocolEvents(KindDeliver) {
+		delivered = delivered.Add(le.P)
+	}
+	if want := model.NewProcessSet(1, 2, 3, 4, 5); !want.SubsetOf(delivered) {
+		t.Fatalf("delivered = %v, want ⊇ %v (cut must heal)", delivered, want)
+	}
+}
+
 // TestLinkFaultsString pins the rendering used by fdsim banners.
 func TestLinkFaultsString(t *testing.T) {
 	t.Parallel()
@@ -223,9 +314,10 @@ func TestLinkFaultsString(t *testing.T) {
 		t.Errorf("empty plan renders %q", got)
 	}
 	lf := LinkFaults{DropPct: 10, MaxExtraDelay: 4,
-		Partitions: []Partition{{Side: model.NewProcessSet(1, 2), From: 40, Until: 400}}}
+		Partitions: []Partition{{Side: model.NewProcessSet(1, 2), From: 40, Until: 400}},
+		Cuts:       []EdgeCut{{Edges: []Edge{{A: 1, B: 3}}, From: 5, Until: 15}}}
 	got := lf.String()
-	for _, want := range []string{"drop=10%", "delay≤4", "@40..400"} {
+	for _, want := range []string{"drop=10%", "delay≤4", "@40..400", "cut{p1-p3}@5..15"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("plan rendering %q missing %q", got, want)
 		}
