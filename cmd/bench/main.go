@@ -1,17 +1,24 @@
 // Command bench runs the repository's benchmark suite in-process and
-// emits a machine-readable JSON report (BENCH_PR6.json by default),
+// emits a machine-readable JSON report (BENCH_PR8.json by default),
 // the artifact the CI benchmark job uploads per PR so the perf
 // trajectory of the simulator is tracked commit over commit.
 //
 // The suite mirrors the per-package -bench benchmarks (engine stepping,
 // consensus/TRB/abcast protocol runs, trace queries, the E8 experiment
-// table) and adds the large-scale configuration the ROADMAP points at:
-// an n=64 many-seed streaming sweep. Benchmark names are stable across
-// flag settings — parameters that vary (like the sweep's seed count
-// under -quick) live in JSON fields, not in the name, so trajectory
-// tooling can join on the name across reports.
+// table) and adds the large-scale configurations the ROADMAP points at:
+// an n=64 many-seed streaming sweep, measured both single-worker and at
+// NumCPU workers so parallel scaling is tracked too. Benchmark names
+// are stable across flag settings — parameters that vary (like the
+// sweep's seed count under -quick, or the worker count) live in JSON
+// fields, not in the name, so trajectory tooling can join on the name
+// across reports.
 //
-// Run with: go run ./cmd/bench [-out BENCH_PR6.json] [-quick]
+// Run with:
+//
+//	go run ./cmd/bench [-out BENCH_PR8.json] [-quick]
+//	    [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// The profiles cover the whole suite; analyze with `go tool pprof`.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"realisticfd/internal/abcast"
@@ -39,6 +47,7 @@ import (
 type result struct {
 	Name        string  `json:"name"`
 	Seeds       int     `json:"seeds,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -80,27 +89,54 @@ func mustRun(cfg sim.Config, wantCondition bool) *sim.Trace {
 	return tr
 }
 
+// benchmark is one suite entry; seeds and workers are non-zero only
+// for sweep-shaped entries and are echoed into the JSON row.
+type benchmark struct {
+	name    string
+	seeds   int
+	workers int
+	fn      func(*testing.B)
+}
+
+// sweepN64 returns the flagship n=64 streaming-sweep body at a fixed
+// worker count; the single-worker and NumCPU-worker suite rows share
+// it so the pair differs only in parallelism.
+func sweepN64(seeds, workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		sc := harness.Scenario{
+			Name: "bench-n64", N: 64,
+			Automaton: scenario.BusyAutomaton{},
+			Oracle:    fd.Perfect{Delay: 2},
+			Horizon:   2000,
+			Pattern: func() *model.FailurePattern {
+				return model.MustPattern(64).MustCrash(7, 300).MustCrash(21, 900)
+			},
+			Policy: func() sim.Policy { return &sim.RandomFairPolicy{} },
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := harness.Reduce(sc, harness.Seeds(seeds), workers, harness.SweepReducer())
+			if st.Runs != int64(seeds) || st.Errors != 0 {
+				panic(fmt.Sprintf("bench: sweep folded %d runs (%d errors), want %d clean",
+					st.Runs, st.Errors, seeds))
+			}
+		}
+	}
+}
+
 // suite returns the named benchmark bodies in report order. The
 // engine/consensus/trb configurations deliberately mirror the
 // per-package *_test.go benchmarks (BenchmarkEngineSteps,
 // BenchmarkSFloodingRun, BenchmarkRotatingRun, BenchmarkTRBWave) so
 // the JSON trajectory stays comparable to `go test -bench` numbers —
 // change them together or the tracked history breaks.
-func suite(quick bool) []struct {
-	name  string
-	seeds int
-	fn    func(*testing.B)
-} {
+func suite(quick bool) []benchmark {
 	sweepSeeds := 256
 	if quick {
 		sweepSeeds = 32
 	}
-	return []struct {
-		name  string
-		seeds int
-		fn    func(*testing.B)
-	}{
-		{"sim/engine-steps-n8", 0, func(b *testing.B) {
+	return []benchmark{
+		{name: "sim/engine-steps-n8", fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mustRun(sim.Config{
@@ -109,7 +145,7 @@ func suite(quick bool) []struct {
 				}, false)
 			}
 		}},
-		{"sim/causal-past", 0, func(b *testing.B) {
+		{name: "sim/causal-past", fn: func(b *testing.B) {
 			tr := func() *sim.Trace {
 				tr, err := sim.Execute(sim.Config{
 					N: 8, Automaton: scenario.BusyAutomaton{}, Oracle: fd.Perfect{},
@@ -127,7 +163,7 @@ func suite(quick bool) []struct {
 				_ = tr.CausalPast(last)
 			}
 		}},
-		{"consensus/sflooding-run", 0, func(b *testing.B) {
+		{name: "consensus/sflooding-run", fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mustRun(sim.Config{
@@ -140,7 +176,7 @@ func suite(quick bool) []struct {
 				}, true)
 			}
 		}},
-		{"consensus/rotating-run", 0, func(b *testing.B) {
+		{name: "consensus/rotating-run", fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mustRun(sim.Config{
@@ -153,7 +189,7 @@ func suite(quick bool) []struct {
 				}, true)
 			}
 		}},
-		{"trb/wave", 0, func(b *testing.B) {
+		{name: "trb/wave", fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mustRun(sim.Config{
@@ -164,7 +200,7 @@ func suite(quick bool) []struct {
 				}, true)
 			}
 		}},
-		{"abcast/total-order", 0, func(b *testing.B) {
+		{name: "abcast/total-order", fn: func(b *testing.B) {
 			sc := abcastScript(5, 2)
 			const expected = 5 * 10 // every process delivers all 10 messages
 			b.ReportAllocs()
@@ -179,39 +215,39 @@ func suite(quick bool) []struct {
 				}, true)
 			}
 		}},
-		{"experiments/e8-majority-crossover", 0, func(b *testing.B) {
+		{name: "experiments/e8-majority-crossover", fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				experiments.E8MajorityCrossover(1)
 			}
 		}},
-		{"sweep/n64", sweepSeeds, func(b *testing.B) {
-			sc := harness.Scenario{
-				Name: "bench-n64", N: 64,
-				Automaton: scenario.BusyAutomaton{},
-				Oracle:    fd.Perfect{Delay: 2},
-				Horizon:   2000,
-				Pattern: func() *model.FailurePattern {
-					return model.MustPattern(64).MustCrash(7, 300).MustCrash(21, 900)
-				},
-				Policy: func() sim.Policy { return &sim.RandomFairPolicy{} },
-			}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				st := harness.Reduce(sc, harness.Seeds(sweepSeeds), 0, harness.SweepReducer())
-				if st.Runs != int64(sweepSeeds) || st.Errors != 0 {
-					panic(fmt.Sprintf("bench: sweep folded %d runs (%d errors), want %d clean",
-						st.Runs, st.Errors, sweepSeeds))
-				}
-			}
-		}},
+		{name: "sweep/n64", seeds: sweepSeeds, workers: 1,
+			fn: sweepN64(sweepSeeds, 1)},
+		{name: "sweep/n64-parallel", seeds: sweepSeeds, workers: runtime.NumCPU(),
+			fn: sweepN64(sweepSeeds, runtime.NumCPU())},
 	}
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "path of the JSON report")
+	out := flag.String("out", "BENCH_PR8.json", "path of the JSON report")
 	quick := flag.Bool("quick", false, "smaller sweep sizes for local smoke runs")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the whole suite")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the suite")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	rep := report{
 		Schema:     "realisticfd-bench/v1",
@@ -224,6 +260,7 @@ func main() {
 		rep.Results = append(rep.Results, result{
 			Name:        bm.name,
 			Seeds:       bm.seeds,
+			Workers:     bm.workers,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
@@ -231,6 +268,20 @@ func main() {
 		})
 		fmt.Fprintf(os.Stderr, "  %d iters, %.0f ns/op, %d B/op, %d allocs/op\n",
 			r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

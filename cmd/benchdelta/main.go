@@ -1,0 +1,161 @@
+// Command benchdelta compares two bench reports (the JSON emitted by
+// cmd/bench) and prints a per-benchmark delta table for ns/op, B/op
+// and allocs/op. It is informational: the exit status is non-zero only
+// for IO or parse errors, never for a regression, so the CI step that
+// runs it annotates the PR without ever blocking it — benchmark noise
+// on shared runners is too high for a hard gate.
+//
+// Usage:
+//
+//	go run ./cmd/benchdelta -new BENCH_PR8.json [-old BENCH_PR6.json]
+//
+// When -old is omitted the tool picks the previous report committed in
+// the working tree: the BENCH_PR<k>.json with the highest k that is
+// not the -new file itself.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Seeds       int     `json:"seeds,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Schema  string   `json:"schema"`
+	Results []result `json:"results"`
+}
+
+var reportName = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// previousReport finds the highest-numbered BENCH_PR<k>.json in dir
+// that is not the excluded file.
+func previousReport(dir, exclude string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestK := "", -1
+	for _, e := range entries {
+		m := reportName.FindStringSubmatch(e.Name())
+		if m == nil || e.Name() == filepath.Base(exclude) {
+			continue
+		}
+		k, _ := strconv.Atoi(m[1])
+		if k > bestK {
+			best, bestK = filepath.Join(dir, e.Name()), k
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no previous BENCH_PR*.json found in %s", dir)
+	}
+	return best, nil
+}
+
+func load(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// pct renders a signed percentage change, or "new" when there is no
+// baseline to compare against.
+func pct(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline report (default: highest previous BENCH_PR*.json)")
+	newPath := flag.String("new", "", "report to compare (required)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdelta: -new is required")
+		os.Exit(2)
+	}
+	if *oldPath == "" {
+		p, err := previousReport(filepath.Dir(*newPath), *newPath)
+		if err != nil {
+			fatal(err)
+		}
+		*oldPath = p
+	}
+
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Names are unique within a report (worker counts live in a field,
+	// not the name), so joining on the name keeps rows comparable even
+	// when a report adds or changes the workers annotation.
+	base := make(map[string]result, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		base[r.Name] = r
+	}
+
+	fmt.Printf("benchmark deltas: %s -> %s\n\n", *oldPath, *newPath)
+	fmt.Printf("%-32s %14s %9s %12s %9s %12s %9s\n",
+		"name", "ns/op", "Δ", "B/op", "Δ", "allocs/op", "Δ")
+	for _, r := range newRep.Results {
+		old, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("%-32s %14.0f %9s %12d %9s %12d %9s\n",
+				displayName(r), r.NsPerOp, "new", r.BytesPerOp, "new", r.AllocsPerOp, "new")
+			continue
+		}
+		fmt.Printf("%-32s %14.0f %9s %12d %9s %12d %9s\n",
+			displayName(r), r.NsPerOp, pct(old.NsPerOp, r.NsPerOp),
+			r.BytesPerOp, pct(float64(old.BytesPerOp), float64(r.BytesPerOp)),
+			r.AllocsPerOp, pct(float64(old.AllocsPerOp), float64(r.AllocsPerOp)))
+	}
+	for _, r := range oldRep.Results {
+		found := false
+		for _, n := range newRep.Results {
+			if n.Name == r.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-32s (removed)\n", displayName(r))
+		}
+	}
+	fmt.Println("\n(informational only; seed counts and worker shapes may differ between reports)")
+}
+
+func displayName(r result) string {
+	if r.Workers > 0 {
+		return fmt.Sprintf("%s (w=%d)", r.Name, r.Workers)
+	}
+	return r.Name
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdelta:", err)
+	os.Exit(1)
+}

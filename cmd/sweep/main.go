@@ -8,6 +8,11 @@
 //	go run ./cmd/sweep -algo busy -n 64 -seeds 100000
 //	go run ./cmd/sweep -algo rotating -fd diamond-s -drop 15 -seeds 1000000 \
 //	    -checkpoint campaign.ckpt -out campaign.json
+//	go run ./cmd/sweep -algo busy -n 64 -seeds 10000 -cpuprofile cpu.pprof
+//
+// The -cpuprofile / -memprofile flags capture pprof profiles of the
+// campaign (analyze with `go tool pprof`), the hook used to find and
+// verify the engine's allocation hot spots.
 //
 // Ctrl-C (SIGINT) stops the campaign cleanly: completed chunks are
 // already persisted in the checkpoint, and re-running the identical
@@ -26,6 +31,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -101,8 +108,35 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 		checkpoint = flag.String("checkpoint", "", "JSON checkpoint path; resume by re-running the same command")
 		out        = flag.String("out", "", "write the final SweepStats JSON here (default: stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the campaign")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the campaign")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	cfg := sweepConfig{
 		Algo: *algo, FD: *oracle, N: *n, Horizon: *horizon,

@@ -57,9 +57,9 @@ func main() {
 	}
 	fmt.Println("output(P) at p1, sampled at its decision events:")
 	prev := model.EmptySet()
-	for _, s := range history.Samples(1) {
+	for _, s := range history.Spans(1) {
 		if !s.Out.Equal(prev) {
-			fmt.Printf("  t=%5d  output(P)₁ = %v\n", s.T, s.Out)
+			fmt.Printf("  t=%5d  output(P)₁ = %v\n", s.From, s.Out)
 			prev = s.Out
 		}
 	}

@@ -75,13 +75,17 @@ func CheckWeakCompleteness(h *model.History, f *model.FailurePattern) *Violation
 // q ∈ F(t).
 func CheckStrongAccuracy(h *model.History, f *model.FailurePattern) *Violation {
 	for p := model.ProcessID(1); int(p) <= f.N(); p++ {
-		for _, s := range h.Samples(p) {
+		for _, s := range h.Spans(p) {
+			// Alive(q, ·) is monotone non-increasing, so if q was alive
+			// at any sample of this span it was alive at the first one:
+			// checking the span start suffices, and s.From is exactly the
+			// earliest offending sample a per-sample walk would report.
 			for _, q := range s.Out.Slice() {
-				if f.Alive(q, s.T) {
+				if f.Alive(q, s.From) {
 					return &Violation{
 						Property: "strong accuracy",
-						Watcher:  p, Target: q, At: s.T,
-						Detail: fmt.Sprintf("%v suspected %v at t=%d but %v had not crashed", p, q, s.T, q),
+						Watcher:  p, Target: q, At: s.From,
+						Detail: fmt.Sprintf("%v suspected %v at t=%d but %v had not crashed", p, q, s.From, q),
 					}
 				}
 			}
@@ -132,10 +136,29 @@ func CheckEventualStrongAccuracy(h *model.History, f *model.FailurePattern) *Vio
 	var lastFalse model.Time = -1
 	var w, tgt model.ProcessID
 	for p := model.ProcessID(1); int(p) <= f.N(); p++ {
-		for _, s := range h.Samples(p) {
+		for _, s := range h.Spans(p) {
 			for _, q := range s.Out.Slice() {
-				if f.Alive(q, s.T) && s.T > lastFalse {
-					lastFalse, w, tgt = s.T, p, q
+				// Last sample of this span at which q was still alive.
+				// Alive(q, ·) is monotone, so: alive at s.To → s.To;
+				// otherwise, alive at s.From → the last alive sample is
+				// min(s.To, ct−1), which is exact for the per-tick
+				// recordings Classify consumers produce (RecordHistory
+				// with step 1) and a safe upper bound otherwise.
+				var last model.Time
+				switch {
+				case f.Alive(q, s.To):
+					last = s.To
+				case f.Alive(q, s.From):
+					ct, _ := f.CrashTime(q)
+					last = ct - 1
+					if s.To < last {
+						last = s.To
+					}
+				default:
+					continue
+				}
+				if last > lastFalse {
+					lastFalse, w, tgt = last, p, q
 				}
 			}
 		}
@@ -161,9 +184,11 @@ func CheckEventualWeakAccuracy(h *model.History, f *model.FailurePattern) *Viola
 	for _, c := range f.Correct().Slice() {
 		var lastSusp model.Time = -1
 		for p := model.ProcessID(1); int(p) <= f.N(); p++ {
-			for _, s := range h.Samples(p) {
-				if s.Out.Has(c) && s.T > lastSusp {
-					lastSusp = s.T
+			// c is correct, so every sample of a span suspecting it is a
+			// suspicion; the latest is the span end.
+			for _, s := range h.Spans(p) {
+				if s.Out.Has(c) && s.To > lastSusp {
+					lastSusp = s.To
 				}
 			}
 		}

@@ -1,0 +1,138 @@
+package fd
+
+import (
+	"fmt"
+	"testing"
+
+	"realisticfd/internal/model"
+)
+
+// The accuracy checkers walk change-point spans instead of individual
+// samples. These reference implementations re-enumerate every (p, t)
+// sample exactly as RecordHistory produced it and apply the property
+// definition verbatim; the span-based checkers must agree on verdict
+// and witness for every oracle × pattern in the grid.
+
+func refStrongAccuracy(o Oracle, f *model.FailurePattern, horizon model.Time) *Violation {
+	for p := model.ProcessID(1); int(p) <= f.N(); p++ {
+		for t := model.Time(0); t <= horizon; t++ {
+			if !f.Alive(p, t) {
+				continue
+			}
+			for _, q := range o.Output(f, p, t).Slice() {
+				if f.Alive(q, t) {
+					return &Violation{Property: "strong accuracy", Watcher: p, Target: q, At: t}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func refLastFalse(o Oracle, f *model.FailurePattern, horizon model.Time) (model.Time, model.ProcessID, model.ProcessID) {
+	var lastFalse model.Time = -1
+	var w, tgt model.ProcessID
+	for p := model.ProcessID(1); int(p) <= f.N(); p++ {
+		for t := model.Time(0); t <= horizon; t++ {
+			if !f.Alive(p, t) {
+				continue
+			}
+			for _, q := range o.Output(f, p, t).Slice() {
+				if f.Alive(q, t) && t > lastFalse {
+					lastFalse, w, tgt = t, p, q
+				}
+			}
+		}
+	}
+	return lastFalse, w, tgt
+}
+
+func refLastSuspicionOf(o Oracle, f *model.FailurePattern, horizon model.Time, c model.ProcessID) model.Time {
+	var last model.Time = -1
+	for p := model.ProcessID(1); int(p) <= f.N(); p++ {
+		for t := model.Time(0); t <= horizon; t++ {
+			if f.Alive(p, t) && o.Output(f, p, t).Has(c) && t > last {
+				last = t
+			}
+		}
+	}
+	return last
+}
+
+func TestSpanCheckersMatchPerSampleReference(t *testing.T) {
+	t.Parallel()
+	const horizon = 120
+
+	patterns := []func(n int) *model.FailurePattern{
+		func(n int) *model.FailurePattern { return model.MustPattern(n) },
+		func(n int) *model.FailurePattern { return model.MustPattern(n).MustCrash(2, 15) },
+		func(n int) *model.FailurePattern {
+			return model.MustPattern(n).MustCrash(1, 0).MustCrash(model.ProcessID(n), 60)
+		},
+		func(n int) *model.FailurePattern {
+			f := model.MustPattern(n)
+			for q := 2; q <= n; q++ { // all but p1 crash, staggered
+				f.MustCrash(model.ProcessID(q), model.Time(10*q))
+			}
+			return f
+		},
+	}
+	oracles := []Oracle{
+		Perfect{},
+		Perfect{Delay: 7},
+		Scribe{},
+		Marabout{},
+		RealisticStrong{BaseDelay: 3, Seed: 11, JitterMax: 9},
+		NonRealisticStrong{Delay: 2, FalsePeriod: 13},
+		EventuallyStrong{GST: 70, Delay: 2, Seed: 5, FalseRate: 30},
+		EventuallyPerfect{GST: 55, Delay: 4, Seed: 9, FalseRate: 55},
+		PartiallyPerfect{Delay: 5},
+		Scripted{Delay: 1, Script: []SuspicionInterval{
+			{P: 1, Target: 3, From: 10, To: 40},
+			{Target: 2, From: 25, To: 26}, // every watcher, single tick
+		}},
+	}
+
+	for _, mk := range patterns {
+		for _, o := range oracles {
+			for _, n := range []int{4, 6} {
+				f := mk(n)
+				h := RecordHistory(o, f, horizon, 1)
+				name := fmt.Sprintf("%s/n=%d/%v", o.Name(), n, f)
+
+				gotSA := CheckStrongAccuracy(h, f)
+				wantSA := refStrongAccuracy(o, f, horizon)
+				if (gotSA == nil) != (wantSA == nil) {
+					t.Fatalf("%s: strong accuracy verdict: span=%v ref=%v", name, gotSA, wantSA)
+				}
+				if gotSA != nil && (gotSA.Watcher != wantSA.Watcher || gotSA.Target != wantSA.Target || gotSA.At != wantSA.At) {
+					t.Fatalf("%s: strong accuracy witness: span=%v ref=%v", name, gotSA, wantSA)
+				}
+
+				gotESA := CheckEventualStrongAccuracy(h, f)
+				lastFalse, w, tgt := refLastFalse(o, f, horizon)
+				margin := stabilizationMargin(h)
+				wantViolation := lastFalse >= 0 && lastFalse >= h.MaxTime()-margin
+				if (gotESA != nil) != wantViolation {
+					t.Fatalf("%s: eventual strong accuracy verdict: span=%v ref lastFalse=%d margin=%d max=%d",
+						name, gotESA, lastFalse, margin, h.MaxTime())
+				}
+				if gotESA != nil && (gotESA.Watcher != w || gotESA.Target != tgt || gotESA.At != lastFalse) {
+					t.Fatalf("%s: eventual strong accuracy witness: span=%v ref=(%v,%v,%d)", name, gotESA, w, tgt, lastFalse)
+				}
+
+				gotEWA := CheckEventualWeakAccuracy(h, f)
+				wantEWAHolds := false
+				for _, c := range f.Correct().Slice() {
+					if refLastSuspicionOf(o, f, horizon, c) < h.MaxTime()-margin {
+						wantEWAHolds = true
+						break
+					}
+				}
+				if (gotEWA == nil) != wantEWAHolds {
+					t.Fatalf("%s: eventual weak accuracy verdict: span=%v ref holds=%v", name, gotEWA, wantEWAHolds)
+				}
+			}
+		}
+	}
+}

@@ -62,6 +62,24 @@ func (o EventuallyStrong) Output(f *model.FailurePattern, p model.ProcessID, t m
 	return out
 }
 
+var _ Steady = EventuallyStrong{}
+
+// StableUntil implements Steady. Before GST the per-tick noise makes
+// the output genuinely time-varying, so no horizon beyond the sample
+// itself is claimed (u = t is always sound); from GST on — or with a
+// zero false rate throughout — the oracle is Perfect-shaped and stable
+// until the next crash visibility.
+func (o EventuallyStrong) StableUntil(f *model.FailurePattern, _ model.ProcessID, t model.Time) model.Time {
+	if o.FalseRate > 0 && t < o.GST {
+		return t
+	}
+	next := nextCrashVisibility(f, o.Delay, t)
+	if next == model.NoCrash {
+		return model.NoCrash
+	}
+	return next - 1
+}
+
 // EventuallyPerfect is a realistic oracle of class ◇P: strong
 // completeness plus eventual strong accuracy. Identical in shape to
 // EventuallyStrong; kept distinct so experiments can label class
@@ -87,6 +105,13 @@ func (o EventuallyPerfect) Realistic() bool { return true }
 // suspicions.
 func (o EventuallyPerfect) Output(f *model.FailurePattern, p model.ProcessID, t model.Time) model.ProcessSet {
 	return EventuallyStrong(o).Output(f, p, t)
+}
+
+var _ Steady = EventuallyPerfect{}
+
+// StableUntil implements Steady; see EventuallyStrong.StableUntil.
+func (o EventuallyPerfect) StableUntil(f *model.FailurePattern, p model.ProcessID, t model.Time) model.Time {
+	return EventuallyStrong(o).StableUntil(f, p, t)
 }
 
 // SuspicionInterval is one scripted false suspicion: watcher P
@@ -138,4 +163,28 @@ func (o Scripted) Output(f *model.FailurePattern, p model.ProcessID, t model.Tim
 		}
 	}
 	return out
+}
+
+var _ Steady = Scripted{}
+
+// StableUntil implements Steady: the output changes at crash
+// visibilities and at the start/end of every script interval that
+// applies to p.
+func (o Scripted) StableUntil(f *model.FailurePattern, p model.ProcessID, t model.Time) model.Time {
+	next := nextCrashVisibility(f, o.Delay, t)
+	for _, iv := range o.Script {
+		if iv.P != 0 && iv.P != p {
+			continue
+		}
+		if iv.From > t && iv.From < next {
+			next = iv.From
+		}
+		if iv.To > t && iv.To < next {
+			next = iv.To
+		}
+	}
+	if next == model.NoCrash {
+		return model.NoCrash
+	}
+	return next - 1
 }

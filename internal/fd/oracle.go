@@ -41,6 +41,46 @@ type Oracle interface {
 	Output(f *model.FailurePattern, p model.ProcessID, t model.Time) model.ProcessSet
 }
 
+// Steady is an optional Oracle extension for piecewise-constant
+// outputs: StableUntil(f, p, t) returns a time u ≥ t such that
+// Output(f, p, t′) == Output(f, p, t) for every t′ in [t, u], judged
+// against the pattern f as it stands. The guarantee is void as soon as
+// a new crash is added to f — callers that cache outputs across an
+// evolving pattern (the engine's per-process FD cache) must drop their
+// horizons whenever the pattern gains a crash; f's crash hook reports
+// exactly those additions.
+//
+// Implementations need not return the tightest horizon; u = t is
+// always sound and is what noisy oracles return while their output is
+// genuinely time-varying.
+type Steady interface {
+	Oracle
+
+	// StableUntil returns the last time through which p's current
+	// output is guaranteed unchanged, given no further crashes.
+	StableUntil(f *model.FailurePattern, p model.ProcessID, t model.Time) model.Time
+}
+
+// nextCrashVisibility returns the earliest time strictly after t at
+// which some crash in f becomes visible to a detector with uniform
+// latency delay (i.e. the smallest ct+delay > t), or model.NoCrash if
+// no recorded crash changes visibility after t. It scans process IDs
+// directly rather than materializing Faulty().Slice() so the Steady
+// fast paths stay allocation-free.
+func nextCrashVisibility(f *model.FailurePattern, delay, t model.Time) model.Time {
+	next := model.Time(model.NoCrash)
+	for q := model.ProcessID(1); int(q) <= f.N(); q++ {
+		ct, crashed := f.CrashTime(q)
+		if !crashed {
+			continue
+		}
+		if v := ct + delay; v > t && v < next {
+			next = v
+		}
+	}
+	return next
+}
+
 // splitmix64 is the deterministic mixing function used for seeded
 // noise. It depends only on its argument, so noise derived from
 // (seed, p, q, t) is measurable on the pattern prefix — i.e. realistic.
@@ -61,16 +101,41 @@ func noise(seed uint64, p, q model.ProcessID, t model.Time) uint64 {
 // multiple of step up to and including horizon, producing the recorded
 // history used by the class checkers. Crashed processes stop querying
 // their modules, matching §2.3 (a crashed process takes no actions).
+// For Steady oracles the recorder queries each module only at its
+// declared change-points, replaying the cached output in between; the
+// pattern is fixed for the whole recording, so the stability horizons
+// never need invalidation here.
 func RecordHistory(o Oracle, f *model.FailurePattern, horizon, step model.Time) *model.History {
 	if step <= 0 {
 		step = 1
 	}
 	h := model.NewHistory(f.N())
+	steady, _ := o.(Steady)
+	var (
+		out   []model.ProcessSet
+		until []model.Time
+	)
+	if steady != nil {
+		out = make([]model.ProcessSet, f.N()+1)
+		until = make([]model.Time, f.N()+1)
+		for p := range until {
+			until[p] = -1
+		}
+	}
 	for t := model.Time(0); t <= horizon; t += step {
 		for p := model.ProcessID(1); int(p) <= f.N(); p++ {
-			if f.Alive(p, t) {
-				h.Record(p, t, o.Output(f, p, t))
+			if !f.Alive(p, t) {
+				continue
 			}
+			if steady != nil {
+				if t > until[p] {
+					out[p] = o.Output(f, p, t)
+					until[p] = steady.StableUntil(f, p, t)
+				}
+				h.Record(p, t, out[p])
+				continue
+			}
+			h.Record(p, t, o.Output(f, p, t))
 		}
 	}
 	return h

@@ -43,9 +43,9 @@ func TestPerfectOnFailureFreePattern(t *testing.T) {
 	f := model.MustPattern(testN)
 	h := RecordHistory(Perfect{Delay: 2}, f, testHorizon, 1)
 	for p := model.ProcessID(1); p <= testN; p++ {
-		for _, s := range h.Samples(p) {
+		for _, s := range h.Spans(p) {
 			if !s.Out.IsEmpty() {
-				t.Fatalf("Perfect suspected %v with no crashes at t=%d", s.Out, s.T)
+				t.Fatalf("Perfect suspected %v with no crashes at t=%d", s.Out, s.From)
 			}
 		}
 	}
@@ -240,11 +240,11 @@ func TestRecordHistoryStopsQueryingAfterCrash(t *testing.T) {
 	t.Parallel()
 	f := model.MustPattern(testN).MustCrash(2, 10)
 	h := RecordHistory(Perfect{}, f, 50, 1)
-	ss := h.Samples(2)
+	ss := h.Spans(2)
 	if len(ss) == 0 {
 		t.Fatal("p2 should have samples before its crash")
 	}
-	if last := ss[len(ss)-1].T; last >= 10 {
+	if last := ss[len(ss)-1].To; last >= 10 {
 		t.Fatalf("crashed p2 queried at t=%d ≥ crash time 10", last)
 	}
 }

@@ -42,3 +42,24 @@ func (o PartiallyPerfect) Output(f *model.FailurePattern, p model.ProcessID, t m
 	}
 	return f.CrashedAt(t - o.Delay).Intersect(lower)
 }
+
+var _ Steady = PartiallyPerfect{}
+
+// StableUntil implements Steady: only crashes of lower-indexed
+// processes ever reach watcher p's output.
+func (o PartiallyPerfect) StableUntil(f *model.FailurePattern, p model.ProcessID, t model.Time) model.Time {
+	next := model.Time(model.NoCrash)
+	for q := model.ProcessID(1); q < p; q++ {
+		ct, crashed := f.CrashTime(q)
+		if !crashed {
+			continue
+		}
+		if v := ct + o.Delay; v > t && v < next {
+			next = v
+		}
+	}
+	if next == model.NoCrash {
+		return model.NoCrash
+	}
+	return next - 1
+}

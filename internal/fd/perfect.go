@@ -40,6 +40,19 @@ func (o Perfect) Output(f *model.FailurePattern, p model.ProcessID, t model.Time
 	return f.CrashedAt(t - o.Delay)
 }
 
+var _ Steady = Perfect{}
+
+// StableUntil implements Steady: the output changes only when a crash
+// turns Delay old, so it is constant through the tick before the next
+// crash-visibility time.
+func (o Perfect) StableUntil(f *model.FailurePattern, _ model.ProcessID, t model.Time) model.Time {
+	next := nextCrashVisibility(f, o.Delay, t)
+	if next == model.NoCrash {
+		return model.NoCrash
+	}
+	return next - 1
+}
+
 // Scribe is the failure detector C of §3.2.1: it "sees what happens at
 // all processes at real time and takes notes". Its full range is the
 // pattern prefix F[t]; Output projects the note-taking onto the
@@ -62,6 +75,17 @@ func (Scribe) Realistic() bool { return true }
 // Output returns F(t), the processes crashed through time t.
 func (Scribe) Output(f *model.FailurePattern, _ model.ProcessID, t model.Time) model.ProcessSet {
 	return f.CrashedAt(t)
+}
+
+var _ Steady = Scribe{}
+
+// StableUntil implements Steady: F(·) changes only at crash times.
+func (Scribe) StableUntil(f *model.FailurePattern, _ model.ProcessID, t model.Time) model.Time {
+	next := nextCrashVisibility(f, 0, t)
+	if next == model.NoCrash {
+		return model.NoCrash
+	}
+	return next - 1
 }
 
 // Prefix returns the Scribe's true output F[t]: the list of the values
@@ -98,4 +122,13 @@ func (Marabout) Realistic() bool { return false }
 // Output returns faulty(F) regardless of p and t.
 func (Marabout) Output(f *model.FailurePattern, _ model.ProcessID, _ model.Time) model.ProcessSet {
 	return f.Faulty()
+}
+
+var _ Steady = Marabout{}
+
+// StableUntil implements Steady: faulty(F) is constant in t for a
+// fixed pattern (it grows only when a crash is *added* to F, which
+// voids the guarantee by the Steady contract).
+func (Marabout) StableUntil(*model.FailurePattern, model.ProcessID, model.Time) model.Time {
+	return model.NoCrash
 }

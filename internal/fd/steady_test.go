@@ -1,0 +1,110 @@
+package fd
+
+import (
+	"reflect"
+	"testing"
+
+	"realisticfd/internal/model"
+)
+
+// steadyGrid is the oracle × pattern grid the Steady contract is
+// verified over; it covers all nine Steady implementations with
+// nontrivial parameters.
+func steadyGridOracles() []Steady {
+	return []Steady{
+		Perfect{},
+		Perfect{Delay: 6},
+		Scribe{},
+		Marabout{},
+		RealisticStrong{BaseDelay: 2, Seed: 7, JitterMax: 11},
+		NonRealisticStrong{Delay: 3, FalsePeriod: 9},
+		NonRealisticStrong{Delay: 1}, // zero period → default cadence
+		EventuallyStrong{GST: 40, Delay: 2, Seed: 3, FalseRate: 40},
+		EventuallyStrong{GST: 40, Delay: 2, FalseRate: 0}, // crash-driven even pre-GST
+		EventuallyPerfect{GST: 25, Delay: 5, Seed: 8, FalseRate: 70},
+		PartiallyPerfect{Delay: 4},
+		Scripted{Delay: 2, Script: []SuspicionInterval{
+			{P: 2, Target: 1, From: 5, To: 30},
+			{Target: 4, From: 12, To: 13},
+			{P: 3, Target: 2, From: 60, To: 95},
+		}},
+	}
+}
+
+func steadyGridPatterns(n int) []*model.FailurePattern {
+	return []*model.FailurePattern{
+		model.MustPattern(n),
+		model.MustPattern(n).MustCrash(3, 0),
+		model.MustPattern(n).MustCrash(2, 20).MustCrash(4, 20),
+		model.MustPattern(n).MustCrash(1, 7).MustCrash(5, 33).MustCrash(2, 71),
+	}
+}
+
+// TestStableUntilContract checks, exhaustively over the grid and every
+// (p, t), that StableUntil returns u ≥ t and that Output really is
+// constant over [t, u] (clipped to the test horizon) for the fixed
+// pattern.
+func TestStableUntilContract(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	const horizon = model.Time(110)
+
+	for _, o := range steadyGridOracles() {
+		for fi, f := range steadyGridPatterns(n) {
+			for p := model.ProcessID(1); int(p) <= n; p++ {
+				for tt := model.Time(0); tt <= horizon; tt++ {
+					u := o.StableUntil(f, p, tt)
+					if u < tt {
+						t.Fatalf("%s pattern#%d: StableUntil(%v, %d) = %d < t", o.Name(), fi, p, tt, u)
+					}
+					base := o.Output(f, p, tt)
+					end := u
+					if end > horizon {
+						end = horizon
+					}
+					for v := tt + 1; v <= end; v++ {
+						if got := o.Output(f, p, v); got != base {
+							t.Fatalf("%s pattern#%d: Output(%v) changed inside stable window: t=%d u=%d changed at %d (%v → %v)",
+								o.Name(), fi, p, tt, u, v, base, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// unsteady hides an oracle's Steady implementation so RecordHistory
+// takes the plain per-tick path.
+type unsteady struct{ Oracle }
+
+// TestRecordHistoryFastPathEquivalent pins the Steady fast path in
+// RecordHistory to the tick-by-tick recording, span for span, across
+// the grid and several sampling steps.
+func TestRecordHistoryFastPathEquivalent(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	const horizon = model.Time(110)
+
+	for _, o := range steadyGridOracles() {
+		if _, ok := Oracle(o).(Steady); !ok {
+			t.Fatalf("%s does not implement Steady", o.Name())
+		}
+		for fi, f := range steadyGridPatterns(n) {
+			for _, step := range []model.Time{1, 3} {
+				fast := RecordHistory(o, f, horizon, step)
+				slow := RecordHistory(unsteady{o}, f, horizon, step)
+				for p := model.ProcessID(1); int(p) <= n; p++ {
+					if fast.SampleCount(p) != slow.SampleCount(p) {
+						t.Fatalf("%s pattern#%d step=%d: SampleCount(%v) fast=%d slow=%d",
+							o.Name(), fi, step, p, fast.SampleCount(p), slow.SampleCount(p))
+					}
+					if !reflect.DeepEqual(fast.Spans(p), slow.Spans(p)) {
+						t.Fatalf("%s pattern#%d step=%d: spans diverge for %v:\nfast: %+v\nslow: %+v",
+							o.Name(), fi, step, p, fast.Spans(p), slow.Spans(p))
+					}
+				}
+			}
+		}
+	}
+}

@@ -55,6 +55,31 @@ func (o RealisticStrong) Output(f *model.FailurePattern, p model.ProcessID, t mo
 	return out
 }
 
+var _ Steady = RealisticStrong{}
+
+// StableUntil implements Steady: p's output changes only when some
+// crash turns BaseDelay + jitter(p, q) old.
+func (o RealisticStrong) StableUntil(f *model.FailurePattern, p model.ProcessID, t model.Time) model.Time {
+	next := model.Time(model.NoCrash)
+	for q := model.ProcessID(1); int(q) <= f.N(); q++ {
+		ct, crashed := f.CrashTime(q)
+		if !crashed {
+			continue
+		}
+		d := o.BaseDelay
+		if o.JitterMax > 0 {
+			d += model.Time(noise(o.Seed, p, q, 0) % uint64(o.JitterMax+1))
+		}
+		if v := ct + d; v > t && v < next {
+			next = v
+		}
+	}
+	if next == model.NoCrash {
+		return model.NoCrash
+	}
+	return next - 1
+}
+
 // NonRealisticStrong is a Strong detector from the *original*
 // Chandra-Toueg space that is not realistic: it knows correct(F) from
 // time zero and protects the lowest-indexed correct process from
@@ -104,4 +129,21 @@ func (o NonRealisticStrong) Output(f *model.FailurePattern, p model.ProcessID, t
 		out = out.Add(target)
 	}
 	return out.Remove(w)
+}
+
+var _ Steady = NonRealisticStrong{}
+
+// StableUntil implements Steady: the output changes at crash
+// visibilities and at the rotation boundaries of the false-suspicion
+// cadence, whichever comes first.
+func (o NonRealisticStrong) StableUntil(f *model.FailurePattern, _ model.ProcessID, t model.Time) model.Time {
+	period := o.FalsePeriod
+	if period <= 0 {
+		period = 10
+	}
+	next := nextCrashVisibility(f, o.Delay, t)
+	if b := (t/period + 1) * period; b < next {
+		next = b
+	}
+	return next - 1
 }

@@ -1,0 +1,167 @@
+package model
+
+import (
+	"testing"
+)
+
+// naiveHistory is the reference implementation the change-point History
+// is held to: record every sample verbatim, answer every query by a
+// plain scan. Any divergence is a bug in the RLE encoding.
+type naiveHistory struct {
+	n       int
+	samples map[ProcessID][]struct {
+		T   Time
+		Out ProcessSet
+	}
+}
+
+func newNaive(n int) *naiveHistory {
+	return &naiveHistory{n: n, samples: make(map[ProcessID][]struct {
+		T   Time
+		Out ProcessSet
+	})}
+}
+
+func (h *naiveHistory) record(p ProcessID, t Time, out ProcessSet) {
+	h.samples[p] = append(h.samples[p], struct {
+		T   Time
+		Out ProcessSet
+	}{t, out})
+}
+
+func (h *naiveHistory) last(p ProcessID, t Time) (ProcessSet, bool) {
+	ss := h.samples[p]
+	for i := len(ss) - 1; i >= 0; i-- {
+		if ss[i].T <= t {
+			return ss[i].Out, true
+		}
+	}
+	return ProcessSet{}, false
+}
+
+func (h *naiveHistory) finalSuspicions(p ProcessID) (ProcessSet, bool) {
+	ss := h.samples[p]
+	if len(ss) == 0 {
+		return ProcessSet{}, false
+	}
+	return ss[len(ss)-1].Out, true
+}
+
+func (h *naiveHistory) suspectedFrom(p, q ProcessID) (Time, bool) {
+	ss := h.samples[p]
+	if len(ss) == 0 || !ss[len(ss)-1].Out.Has(q) {
+		return 0, false
+	}
+	i := len(ss) - 1
+	for i > 0 && ss[i-1].Out.Has(q) {
+		i--
+	}
+	return ss[i].T, true
+}
+
+func (h *naiveHistory) everSuspected(p, q ProcessID) (Time, bool) {
+	for _, s := range h.samples[p] {
+		if s.Out.Has(q) {
+			return s.T, true
+		}
+	}
+	return 0, false
+}
+
+func (h *naiveHistory) maxTime() Time {
+	var max Time
+	for p := ProcessID(1); int(p) <= h.n; p++ {
+		if ss := h.samples[p]; len(ss) > 0 && ss[len(ss)-1].T > max {
+			max = ss[len(ss)-1].T
+		}
+	}
+	return max
+}
+
+// FuzzHistoryMatchesNaive drives the change-point History and the naive
+// record-everything reference with the same fuzz-derived sample stream,
+// then cross-checks every query. The input bytes are consumed three at
+// a time as (process selector, time advance, output bits): small n and
+// few distinct outputs maximize run-length merges, which is exactly the
+// machinery under test.
+func FuzzHistoryMatchesNaive(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 3, 0, 0, 3, 2, 1, 0})
+	f.Add([]byte{5, 1, 0, 5, 0, 0, 5, 3, 7, 1, 9, 7})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 6
+		h := NewHistory(n)
+		ref := newNaive(n)
+
+		clock := make([]Time, n+1) // per-process last sample time
+		for i := 0; i+2 < len(data); i += 3 {
+			p := ProcessID(int(data[i])%n + 1)
+			clock[p] += Time(data[i+1] % 8) // advance 0..7 ticks; 0 repeats the tick
+			// Mask to n low bits so outputs repeat often across samples.
+			out := ProcessSet{}
+			for q := ProcessID(1); q <= n; q++ {
+				if data[i+2]&(1<<(q-1)) != 0 {
+					out = out.Add(q)
+				}
+			}
+			h.Record(p, clock[p], out)
+			ref.record(p, clock[p], out)
+		}
+
+		if got, want := h.MaxTime(), ref.maxTime(); got != want {
+			t.Fatalf("MaxTime: rle=%d naive=%d", got, want)
+		}
+		maxT := ref.maxTime()
+		for p := ProcessID(1); p <= n; p++ {
+			if got, want := h.SampleCount(p), len(ref.samples[p]); got != want {
+				t.Fatalf("SampleCount(%v): rle=%d naive=%d", p, got, want)
+			}
+			gotFin, gotOK := h.FinalSuspicions(p)
+			wantFin, wantOK := ref.finalSuspicions(p)
+			if gotOK != wantOK || gotFin != wantFin {
+				t.Fatalf("FinalSuspicions(%v): rle=%v,%v naive=%v,%v", p, gotFin, gotOK, wantFin, wantOK)
+			}
+			for tt := Time(0); tt <= maxT+1; tt++ {
+				gotL, gotOK := h.Last(p, tt)
+				wantL, wantOK := ref.last(p, tt)
+				if gotOK != wantOK || gotL != wantL {
+					t.Fatalf("Last(%v, %d): rle=%v,%v naive=%v,%v", p, tt, gotL, gotOK, wantL, wantOK)
+				}
+			}
+			for q := ProcessID(1); q <= n; q++ {
+				gotT, gotOK := h.SuspectedFrom(p, q)
+				wantT, wantOK := ref.suspectedFrom(p, q)
+				if gotOK != wantOK || (gotOK && gotT != wantT) {
+					t.Fatalf("SuspectedFrom(%v,%v): rle=%d,%v naive=%d,%v", p, q, gotT, gotOK, wantT, wantOK)
+				}
+				gotT, gotOK = h.EverSuspected(p, q)
+				wantT, wantOK = ref.everSuspected(p, q)
+				if gotOK != wantOK || (gotOK && gotT != wantT) {
+					t.Fatalf("EverSuspected(%v,%v): rle=%d,%v naive=%d,%v", p, q, gotT, gotOK, wantT, wantOK)
+				}
+			}
+
+			// Structural invariants of the encoding itself.
+			spans := h.Spans(p)
+			total := 0
+			for i, s := range spans {
+				if s.From > s.To || s.Count < 1 {
+					t.Fatalf("Spans(%v)[%d] malformed: %+v", p, i, s)
+				}
+				if i > 0 {
+					if spans[i-1].Out == s.Out {
+						t.Fatalf("Spans(%v)[%d] not maximal: equal output to predecessor", p, i)
+					}
+					if spans[i-1].To > s.From {
+						t.Fatalf("Spans(%v)[%d] overlaps predecessor", p, i)
+					}
+				}
+				total += s.Count
+			}
+			if total != h.SampleCount(p) {
+				t.Fatalf("Spans(%v) counts sum to %d, SampleCount says %d", p, total, h.SampleCount(p))
+			}
+		}
+	})
+}

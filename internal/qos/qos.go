@@ -19,11 +19,25 @@ import (
 // Timeline records the boolean suspicion verdicts about one monitored
 // process, sampled at (strictly increasing) times, plus the ground
 // truth crash time (zero Time means the process never crashed).
+//
+// Verdicts are stored as change-points only — one flip entry per
+// verdict that differs from its predecessor — with the per-sample
+// accuracy tallies folded in at Record time. A detector's verdict is
+// piecewise-constant (long trust stretches punctuated by suspicion
+// episodes), so memory is O(episodes) instead of O(samples); E9's
+// frontier sweeps record millions of verdicts but only dozens of
+// flips.
 type Timeline struct {
 	start   time.Time
 	end     time.Time
 	crashAt time.Time // zero: never crashed
-	samples []sample
+	count   int       // verdicts recorded
+	flips   []sample  // change-points: first verdict, then each differing one
+
+	// Alive-window accuracy tallies, maintained incrementally; valid
+	// because Crash may not reclassify already-recorded samples.
+	aliveSamples int
+	aliveCorrect int
 }
 
 type sample struct {
@@ -36,26 +50,48 @@ func NewTimeline(start time.Time) *Timeline {
 	return &Timeline{start: start, end: start}
 }
 
-// Crash records the ground-truth crash instant.
-func (tl *Timeline) Crash(at time.Time) { tl.crashAt = at }
+// Crash records the ground-truth crash instant. It must be called
+// before any sample it would reclassify: the accuracy tallies are
+// folded in as verdicts arrive, so moving the crash across recorded
+// samples would silently corrupt them — the panic makes the ordering
+// contract explicit. (Every caller — the E9 replays and the live
+// collectors — learns of the crash before recording later verdicts.)
+func (tl *Timeline) Crash(at time.Time) {
+	if tl.count > 0 && (!tl.crashAt.IsZero() || !at.After(tl.end)) {
+		panic("qos: Crash must be recorded before the samples it classifies")
+	}
+	tl.crashAt = at
+}
 
 // Record appends one verdict; times must be non-decreasing.
 func (tl *Timeline) Record(at time.Time, suspected bool) {
 	if at.Before(tl.end) {
 		panic("qos: timeline samples must be time-ordered")
 	}
-	tl.samples = append(tl.samples, sample{at: at, suspected: suspected})
+	if tl.crashAt.IsZero() || at.Before(tl.crashAt) {
+		tl.aliveSamples++
+		if !suspected {
+			tl.aliveCorrect++
+		}
+	}
+	if tl.count == 0 || tl.flips[len(tl.flips)-1].suspected != suspected {
+		tl.flips = append(tl.flips, sample{at: at, suspected: suspected})
+	}
+	tl.count++
 	tl.end = at
 }
+
+// SampleCount returns the number of verdicts recorded.
+func (tl *Timeline) SampleCount() int { return tl.count }
 
 // FinalSuspected reports the last verdict of the window — false when
 // the timeline is empty. A healed outage must leave this false: trust
 // restored.
 func (tl *Timeline) FinalSuspected() bool {
-	if len(tl.samples) == 0 {
+	if tl.count == 0 {
 		return false
 	}
-	return tl.samples[len(tl.samples)-1].suspected
+	return tl.flips[len(tl.flips)-1].suspected
 }
 
 // Metrics are the Chen-Toueg-Aguilera QoS figures computed over one
@@ -92,7 +128,7 @@ func (m Metrics) String() string {
 // Compute derives the metrics from the timeline.
 func (tl *Timeline) Compute() Metrics {
 	var m Metrics
-	m.Samples = len(tl.samples)
+	m.Samples = tl.count
 	if m.Samples == 0 {
 		return m
 	}
@@ -103,23 +139,18 @@ func (tl *Timeline) Compute() Metrics {
 		aliveEnd = tl.crashAt
 	}
 
-	// Walk samples: episodes of suspicion while alive are mistakes;
-	// the last suspicion streak covering the end of the window is the
-	// detection (when the process crashed).
+	// Walk the change-points: a suspicion episode starts at a flip to
+	// suspected and ends at the next flip back to trust — exactly the
+	// sample pair the per-sample walk used to find, since an episode's
+	// boundary samples are by definition verdict changes. The last
+	// suspicion streak covering the end of the window is the detection
+	// (when the process crashed).
 	var (
-		aliveSamples, aliveCorrect int
-		mistakeTotal               time.Duration
-		episodeStart               time.Time
-		inEpisode                  bool
+		mistakeTotal time.Duration
+		episodeStart time.Time
+		inEpisode    bool
 	)
-	for _, s := range tl.samples {
-		alive := !crashed || s.at.Before(tl.crashAt)
-		if alive {
-			aliveSamples++
-			if !s.suspected {
-				aliveCorrect++
-			}
-		}
+	for _, s := range tl.flips {
 		switch {
 		case s.suspected && !inEpisode:
 			inEpisode = true
@@ -169,8 +200,8 @@ func (tl *Timeline) Compute() Metrics {
 	if aliveSpan > 0 {
 		m.MistakeRate = float64(m.Mistakes) / aliveSpan
 	}
-	if aliveSamples > 0 {
-		m.QueryAccuracy = float64(aliveCorrect) / float64(aliveSamples)
+	if tl.aliveSamples > 0 {
+		m.QueryAccuracy = float64(tl.aliveCorrect) / float64(tl.aliveSamples)
 	}
 	return m
 }

@@ -157,8 +157,8 @@ func TestReplayNonDividingSamplePeriodCoversTail(t *testing.T) {
 	if got, want := tl.end, origin.Add(model.Duration); !got.Equal(want) {
 		t.Fatalf("window ends at %v, want %v (tail sample missing)", got, want)
 	}
-	if len(tl.samples) != 4 {
-		t.Fatalf("recorded %d samples, want 4 (3 in-period + 1 tail)", len(tl.samples))
+	if tl.SampleCount() != 4 {
+		t.Fatalf("recorded %d samples, want 4 (3 in-period + 1 tail)", tl.SampleCount())
 	}
 	if !tl.FinalSuspected() {
 		t.Fatal("crash at 930ms undetected: the tail sample at 1s never ran")
@@ -170,8 +170,8 @@ func TestReplayNonDividingSamplePeriodCoversTail(t *testing.T) {
 	// A dividing period must not double-sample the endpoint.
 	model.SamplePeriod = 250 * time.Millisecond
 	tl = model.Replay(&heartbeat.FixedTimeout{Timeout: 60 * time.Millisecond})
-	if len(tl.samples) != 4 {
-		t.Fatalf("dividing period recorded %d samples, want exactly 4", len(tl.samples))
+	if tl.SampleCount() != 4 {
+		t.Fatalf("dividing period recorded %d samples, want exactly 4", tl.SampleCount())
 	}
 	if got, want := tl.end, origin.Add(model.Duration); !got.Equal(want) {
 		t.Fatalf("window ends at %v, want %v", got, want)

@@ -1,0 +1,197 @@
+package qos
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refCompute is the pre-change-point Compute, kept verbatim as the
+// reference: walk every sample, classify it against the crash instant,
+// and track suspicion episodes sample by sample. The flip-based
+// Compute must agree metric for metric.
+func refCompute(start, end, crashAt time.Time, samples []sample) Metrics {
+	var m Metrics
+	m.Samples = len(samples)
+	if m.Samples == 0 {
+		return m
+	}
+	crashed := !crashAt.IsZero()
+	aliveEnd := end
+	if crashed && crashAt.Before(aliveEnd) {
+		aliveEnd = crashAt
+	}
+	var (
+		aliveSamples, aliveCorrect int
+		mistakeTotal               time.Duration
+		episodeStart               time.Time
+		inEpisode                  bool
+	)
+	for _, s := range samples {
+		alive := !crashed || s.at.Before(crashAt)
+		if alive {
+			aliveSamples++
+			if !s.suspected {
+				aliveCorrect++
+			}
+		}
+		switch {
+		case s.suspected && !inEpisode:
+			inEpisode = true
+			episodeStart = s.at
+		case !s.suspected && inEpisode:
+			inEpisode = false
+			if episodeStart.Before(aliveEnd) {
+				m.Mistakes++
+				endAlive := s.at
+				if endAlive.After(aliveEnd) {
+					endAlive = aliveEnd
+				}
+				mistakeTotal += endAlive.Sub(episodeStart)
+			}
+		}
+	}
+	if inEpisode {
+		if crashed {
+			m.Detected = true
+			if episodeStart.After(crashAt) {
+				m.DetectionTime = episodeStart.Sub(crashAt)
+			}
+			if episodeStart.Before(crashAt) {
+				m.Mistakes++
+				mistakeTotal += crashAt.Sub(episodeStart)
+			}
+		} else {
+			m.Mistakes++
+			mistakeTotal += end.Sub(episodeStart)
+		}
+	}
+	if m.Mistakes > 0 {
+		m.AvgMistakeDuration = mistakeTotal / time.Duration(m.Mistakes)
+	}
+	aliveSpan := aliveEnd.Sub(start).Seconds()
+	if aliveSpan > 0 {
+		m.MistakeRate = float64(m.Mistakes) / aliveSpan
+	}
+	if aliveSamples > 0 {
+		m.QueryAccuracy = float64(aliveCorrect) / float64(aliveSamples)
+	}
+	return m
+}
+
+// TestComputeMatchesPerSampleReference drives random verdict streams —
+// biased toward long constant stretches, so the RLE actually collapses
+// runs — through the change-point Timeline and the per-sample
+// reference, with and without crashes, and requires identical metrics.
+func TestComputeMatchesPerSampleReference(t *testing.T) {
+	t.Parallel()
+	base := time.Unix(1000, 0)
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nSamples := 1 + rng.Intn(60)
+		period := time.Duration(5+rng.Intn(50)) * time.Millisecond
+
+		// Crash (or not) at a random instant in or after the window;
+		// known up front, as the Timeline contract requires.
+		var crashAt time.Time
+		if rng.Intn(2) == 0 {
+			crashAt = base.Add(time.Duration(rng.Intn(nSamples*int(period)/int(time.Millisecond)+50)) * time.Millisecond)
+		}
+
+		tl := NewTimeline(base)
+		if !crashAt.IsZero() {
+			tl.Crash(crashAt)
+		}
+		var raw []sample
+		at := base
+		suspected := false
+		for i := 0; i < nSamples; i++ {
+			at = at.Add(period)
+			if rng.Intn(100) < 25 { // flip rarely: long constant runs
+				suspected = !suspected
+			}
+			tl.Record(at, suspected)
+			raw = append(raw, sample{at: at, suspected: suspected})
+		}
+
+		got := tl.Compute()
+		want := refCompute(base, at, crashAt, raw)
+		if got != want {
+			t.Fatalf("seed %d (crashAt=%v): metrics diverge\nrle: %+v\nref: %+v", seed, crashAt, got, want)
+		}
+		if len(tl.flips) > tl.count {
+			t.Fatalf("seed %d: %d flips for %d samples", seed, len(tl.flips), tl.count)
+		}
+	}
+}
+
+func TestTimelineRunLengthEncodes(t *testing.T) {
+	t.Parallel()
+	base := time.Unix(0, 0)
+	tl := NewTimeline(base)
+	for i := 1; i <= 1000; i++ {
+		tl.Record(base.Add(time.Duration(i)*time.Millisecond), i >= 500 && i < 600)
+	}
+	if got := len(tl.flips); got != 3 {
+		t.Fatalf("1000 samples with one suspicion episode stored as %d flips, want 3", got)
+	}
+	if tl.SampleCount() != 1000 {
+		t.Fatalf("SampleCount = %d", tl.SampleCount())
+	}
+	m := tl.Compute()
+	if m.Mistakes != 1 || m.Samples != 1000 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+// TestCrashOrderingContract pins the Crash/Record discipline: a crash
+// instant may not move across already-recorded samples, because the
+// accuracy tallies were classified against the old value.
+func TestCrashOrderingContract(t *testing.T) {
+	t.Parallel()
+	base := time.Unix(0, 0)
+
+	t.Run("crash-before-records-ok", func(t *testing.T) {
+		tl := NewTimeline(base)
+		tl.Crash(base.Add(50 * time.Millisecond))
+		tl.Record(base.Add(10*time.Millisecond), false)
+		tl.Record(base.Add(60*time.Millisecond), true)
+		if m := tl.Compute(); !m.Detected {
+			t.Fatalf("metrics: %+v", m)
+		}
+	})
+
+	t.Run("future-crash-after-records-ok", func(t *testing.T) {
+		tl := NewTimeline(base)
+		tl.Record(base.Add(10*time.Millisecond), false)
+		// Strictly beyond the last sample: reclassifies nothing.
+		tl.Crash(base.Add(20 * time.Millisecond))
+		tl.Record(base.Add(30*time.Millisecond), true)
+		if m := tl.Compute(); !m.Detected {
+			t.Fatalf("metrics: %+v", m)
+		}
+	})
+
+	t.Run("crash-across-recorded-samples-panics", func(t *testing.T) {
+		tl := NewTimeline(base)
+		tl.Record(base.Add(10*time.Millisecond), false)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Crash at/before a recorded sample did not panic")
+			}
+		}()
+		tl.Crash(base.Add(10 * time.Millisecond))
+	})
+
+	t.Run("moving-a-set-crash-panics", func(t *testing.T) {
+		tl := NewTimeline(base)
+		tl.Crash(base.Add(5 * time.Millisecond))
+		tl.Record(base.Add(10*time.Millisecond), true)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("re-setting the crash after records did not panic")
+			}
+		}()
+		tl.Crash(base.Add(100 * time.Millisecond))
+	})
+}

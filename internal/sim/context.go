@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand"
+
 	"realisticfd/internal/model"
 )
 
@@ -31,6 +33,13 @@ type RunContext struct {
 	// dead is the per-step scratch for DropSifter results.
 	dead []*Message
 
+	// Per-process FD output cache for Steady oracles: fdOut[p] is valid
+	// through time fdUntil[p]. Horizons are dropped to -1 whenever the
+	// pattern gains a crash (the Steady guarantee is conditioned on the
+	// pattern not changing).
+	fdOut   []model.ProcessSet
+	fdUntil []model.Time
+
 	// Message arena: chunks are retained across runs and re-carved from
 	// the top. Chunk sizes start small and grow geometrically so short
 	// runs on a fresh context stay cheap.
@@ -44,6 +53,14 @@ type RunContext struct {
 	// The trace and its history are recycled in place.
 	trace   Trace
 	history *model.History
+
+	// The run handle and its RNG are recycled too: rand.NewSource's
+	// state alone is ~5KB, which used to be reallocated every seed of a
+	// streaming sweep. Re-seeding resets the generator to exactly the
+	// state a fresh rand.New(rand.NewSource(seed)) starts from, so
+	// replay determinism is unaffected (the golden digests pin it).
+	run Run
+	rng *rand.Rand
 }
 
 // NewRunContext returns an empty reusable run context.
@@ -66,6 +83,8 @@ func (rc *RunContext) reset(cfg Config, pattern *model.FailurePattern) *Trace {
 	rc.pending = grow(rc.pending, n+1)
 	rc.lastEv = grow(rc.lastEv, n+1)
 	rc.dropped = grow(rc.dropped, n+1)
+	rc.fdOut = grow(rc.fdOut, n+1)
+	rc.fdUntil = grow(rc.fdUntil, n+1)
 	for p := 0; p <= n; p++ {
 		rc.procs[p] = nil
 		q := &rc.pending[p]
@@ -73,6 +92,7 @@ func (rc *RunContext) reset(cfg Config, pattern *model.FailurePattern) *Trace {
 		q.head = 0
 		rc.lastEv[p] = -1
 		rc.dropped[p] = rc.dropped[p][:0]
+		rc.fdUntil[p] = -1
 	}
 	rc.msgCI, rc.msgOff = 0, 0
 	rc.sendCI, rc.sendOff = 0, 0

@@ -114,6 +114,7 @@ type Run struct {
 	trace   *Trace
 	nextMsg int64
 	sifter  DropSifter // policy's drop reporter, nil if none
+	steady  fd.Steady  // oracle's stability declaration, nil if none
 
 	// Alive-set cache: rebuilt only when a crash takes effect, never
 	// per tick. aliveList is sorted by ID (the Policy contract);
@@ -221,15 +222,24 @@ func (rc *RunContext) Execute(cfg Config) (*Trace, error) {
 		policy = &FairPolicy{}
 	}
 
-	r := &Run{
-		cfg:     cfg,
-		rc:      rc,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		pattern: pattern,
-		trace:   rc.reset(cfg, pattern),
-		nextMsg: 1,
+	if rc.rng == nil {
+		rc.rng = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		rc.rng.Seed(cfg.Seed)
+	}
+	r := &rc.run
+	aliveList := r.aliveList // keep the recycled capacity
+	*r = Run{
+		cfg:       cfg,
+		rc:        rc,
+		rng:       rc.rng,
+		pattern:   pattern,
+		trace:     rc.reset(cfg, pattern),
+		nextMsg:   1,
+		aliveList: aliveList[:0],
 	}
 	r.sifter, _ = policy.(DropSifter)
+	r.steady, _ = cfg.Oracle.(fd.Steady)
 	for p := 1; p <= cfg.N; p++ {
 		rc.procs[p] = cfg.Automaton.Spawn(model.ProcessID(p), cfg.N)
 	}
@@ -241,6 +251,13 @@ func (rc *RunContext) Execute(cfg Config) (*Trace, error) {
 	pattern.SetCrashHook(func(_ model.ProcessID, t model.Time) {
 		if t < r.nextCrash {
 			r.nextCrash = t
+		}
+		// A new crash voids every Steady stability horizon: outputs may
+		// now change earlier than the oracle promised for the old F.
+		if r.steady != nil {
+			for p := range rc.fdUntil {
+				rc.fdUntil[p] = -1
+			}
 		}
 	})
 	defer pattern.SetCrashHook(nil)
@@ -286,8 +303,21 @@ func (rc *RunContext) Execute(cfg Config) (*Trace, error) {
 			msg = q.remove(idx)
 		}
 
-		// (2) query the failure-detector module.
-		susp := cfg.Oracle.Output(pattern, p, t)
+		// (2) query the failure-detector module. Steady oracles declare
+		// how long their output is guaranteed unchanged, so the real
+		// query runs only at change-points; in between the cached output
+		// is replayed (byte-identical by the Steady contract, which the
+		// golden digests pin).
+		var susp model.ProcessSet
+		if r.steady != nil && t <= rc.fdUntil[p] {
+			susp = rc.fdOut[p]
+		} else {
+			susp = cfg.Oracle.Output(pattern, p, t)
+			if r.steady != nil {
+				rc.fdOut[p] = susp
+				rc.fdUntil[p] = r.steady.StableUntil(pattern, p, t)
+			}
+		}
 		r.trace.History.Record(p, t, susp)
 
 		// (3) state transition and sends.
