@@ -1,133 +1,115 @@
-// Command fdlive runs a live heartbeat cluster over TCP on localhost:
-// every node heartbeats every other, runs the chosen estimator, and
-// participates in exclusion-based membership. One node can be
-// scripted to die mid-run, demonstrating the §1.3 emulation of a
-// Perfect detector end to end on real sockets.
+// Command fdlive runs a live gossip heartbeat cluster in-process and
+// prints a human-readable account: detection times for the scripted
+// kill, false-suspicion totals, per-node gossip fan-out, and the
+// membership views the §1.3 emulation derives from the suspicions.
+// It is the quick demo on top of internal/cluster — the same node
+// runtime cmd/fdnode runs as a real process, spawned here as
+// goroutines so `go run ./cmd/fdlive` needs nothing else.
 //
 // Examples:
 //
-//	go run ./cmd/fdlive                          # 5 nodes, φ-accrual, kill p3 at 1s
-//	go run ./cmd/fdlive -est fixed -timeout 80ms
-//	go run ./cmd/fdlive -n 7 -kill 5 -after 2s -duration 6s
+//	go run ./cmd/fdlive                          # 8 nodes, φ-accrual, kill node 3
+//	go run ./cmd/fdlive -est fixed -timeout 300ms
+//	go run ./cmd/fdlive -n 32 -kill 5 -settle 3s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"realisticfd/internal/heartbeat"
-	"realisticfd/internal/membership"
-	"realisticfd/internal/model"
-	"realisticfd/internal/transport"
+	"realisticfd/internal/cluster"
+	"realisticfd/internal/scenario"
 )
 
 func main() {
 	var (
-		n        = flag.Int("n", 5, "cluster size (4..64)")
+		n        = flag.Int("n", 8, "cluster size (≥ 2)")
 		est      = flag.String("est", "phi", "estimator: fixed|chen|phi")
-		timeout  = flag.Duration("timeout", 100*time.Millisecond, "fixed estimator timeout")
-		alpha    = flag.Duration("alpha", 60*time.Millisecond, "chen safety margin")
-		phi      = flag.Float64("phi", 8, "φ-accrual threshold")
-		interval = flag.Duration("interval", 10*time.Millisecond, "heartbeat interval")
+		timeout  = flag.Duration("timeout", 0, "fixed estimator timeout (default 12×interval)")
+		interval = flag.Duration("interval", 25*time.Millisecond, "gossip round period")
+		fanout   = flag.Int("fanout", 0, "gossip destinations per round (0 = all overlay neighbors)")
 		kill     = flag.Int("kill", 3, "node to kill (0 = none)")
-		after    = flag.Duration("after", time.Second, "when to kill it")
-		duration = flag.Duration("duration", 4*time.Second, "total run time")
+		warmup   = flag.Duration("warmup", time.Second, "dissemination warmup before the kill")
+		settle   = flag.Duration("settle", 2*time.Second, "observation tail after the kill")
 	)
 	flag.Parse()
 
-	mkEst := func() heartbeat.Estimator {
-		switch *est {
-		case "fixed":
-			return &heartbeat.FixedTimeout{Timeout: *timeout}
-		case "chen":
-			return &heartbeat.Chen{Window: 32, Alpha: *alpha}
-		case "phi":
-			return &heartbeat.PhiAccrual{Window: 128, Threshold: *phi, MinStdDev: 2 * time.Millisecond}
-		default:
-			fmt.Fprintf(os.Stderr, "fdlive: unknown estimator %q\n", *est)
-			os.Exit(2)
+	estSpec := scenario.LiveEstimatorSpec{}
+	switch *est {
+	case "fixed":
+		to := *timeout
+		if to <= 0 {
+			to = 12 * *interval
 		}
-		return nil
+		estSpec = scenario.LiveEstimatorSpec{Kind: scenario.LiveEstFixed, TimeoutMs: int(to.Milliseconds())}
+	case "chen":
+		estSpec.Kind = scenario.LiveEstChen
+	case "phi":
+		estSpec.Kind = scenario.LiveEstPhi
+	default:
+		fmt.Fprintf(os.Stderr, "fdlive: unknown estimator %q\n", *est)
+		os.Exit(2)
 	}
 
-	nodes, err := transport.NewTCPCluster(*n)
+	spec := scenario.LiveSpec{
+		Name:       "fdlive",
+		N:          *n,
+		IntervalMs: int(interval.Milliseconds()),
+		Fanout:     *fanout,
+		Estimator:  estSpec,
+		WarmupMs:   int(warmup.Milliseconds()),
+		SettleMs:   int(settle.Milliseconds()),
+	}
+	if *kill > 0 {
+		spec.Schedule = []scenario.LiveEventSpec{
+			{AtMs: 0, Action: scenario.LiveKill, Nodes: []int{*kill}},
+		}
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdlive:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("fdlive: %d nodes, %s overlay, estimator=%s, interval=%v\n",
+		*n, spec.Topology.Kind, *est, *interval)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	res, err := cluster.Run(ctx, cluster.Config{
+		Spec:    spec,
+		Spawner: cluster.InProcSpawner{},
+		Seed:    time.Now().UnixNano(),
+		Log:     os.Stderr,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdlive:", err)
 		os.Exit(1)
 	}
-	peersOf := func(self model.ProcessID) []model.ProcessID {
-		var out []model.ProcessID
-		for q := 1; q <= *n; q++ {
-			if model.ProcessID(q) != self {
-				out = append(out, model.ProcessID(q))
-			}
-		}
-		return out
+
+	fmt.Printf("\nrun %q: %d/%d nodes reported in %v\n",
+		res.Name, res.Reports, res.Expected, time.Duration(res.ElapsedMs)*time.Millisecond)
+	fmt.Printf("gossip fan-out: ≤ %d distinct destinations per node (overlay degree %d)\n",
+		res.MaxDistinctDestinations, res.OverlayDegree)
+	for _, kr := range res.Kills {
+		fmt.Printf("killed node %d: detected by %d/%d observers, T_D mean %.0fms max %.0fms\n",
+			kr.Target, kr.Detected, kr.Observers, kr.MeanDetectionMs, kr.MaxDetectionMs)
 	}
-
-	dets := make(map[model.ProcessID]*heartbeat.Detector, *n)
-	ems := make(map[model.ProcessID]*heartbeat.Emitter, *n)
-	mgrs := make(map[model.ProcessID]*membership.Manager, *n)
-	for _, nd := range nodes {
-		p := nd.Self()
-		det := heartbeat.NewDetector(nd, peersOf(p), mkEst)
-		dets[p] = det
-		ems[p] = heartbeat.NewEmitter(nd, peersOf(p), *interval)
-		mgrs[p] = membership.NewManager(nd, *n, det.Suspects, det.Forward(), 2**interval)
-		fmt.Printf("%v up on %s\n", p, nd.Addr())
-	}
-	fmt.Printf("\nestimator=%s interval=%v; observing for %v\n\n", *est, *interval, *duration)
-
-	start := time.Now()
-	killed := false
-	victim := model.ProcessID(*kill)
-	status := time.NewTicker(500 * time.Millisecond)
-	defer status.Stop()
-	deadline := time.After(*duration)
-
-loop:
-	for {
-		select {
-		case <-status.C:
-			p1 := mgrs[1]
-			fmt.Printf("t=%-6s p1: suspects=%v view=%v output(P)=%v\n",
-				time.Since(start).Round(100*time.Millisecond),
-				dets[1].Suspects(), p1.View(), p1.Excluded())
-		case <-deadline:
-			break loop
-		default:
-			if !killed && victim >= 1 && int(victim) <= *n && time.Since(start) >= *after {
-				killed = true
-				fmt.Printf("\n*** killing %v ***\n\n", victim)
-				ems[victim].Close()
-				dets[victim].Close()
-			}
-			time.Sleep(5 * time.Millisecond)
+	fmt.Printf("false suspicions on live nodes: %d (min P_A %.4f)\n",
+		res.FalseSuspicionMistakes, res.MinQueryAccuracy)
+	if len(res.Views) > 0 {
+		fmt.Println("\nmembership views (suspicion → exclusion, the §1.3 emulation):")
+		for _, v := range res.Views {
+			fmt.Printf("  node %2d: view#%d excluded=%v\n", v.Node, v.ViewID, v.Excluded)
 		}
 	}
-
-	fmt.Println("\nfinal state:")
-	for p := model.ProcessID(1); int(p) <= *n; p++ {
-		if p == victim && killed {
-			fmt.Printf("  %v: (dead)\n", p)
-			continue
+	if len(res.Failures) > 0 {
+		fmt.Printf("\nfailures:\n")
+		for _, f := range res.Failures {
+			fmt.Println("  -", f)
 		}
-		fmt.Printf("  %v: view=%v output(P)=%v dead=%v\n", p, mgrs[p].View(), mgrs[p].Excluded(), mgrs[p].Dead())
-	}
-
-	for p := model.ProcessID(1); int(p) <= *n; p++ {
-		mgrs[p].Close()
-		if p == victim && killed {
-			continue
-		}
-		ems[p].Close()
-	}
-	for p := model.ProcessID(1); int(p) <= *n; p++ {
-		if p == victim && killed {
-			continue
-		}
-		dets[p].Close()
+		os.Exit(1)
 	}
 }

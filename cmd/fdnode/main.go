@@ -1,0 +1,37 @@
+// Command fdnode is one live cluster node: it reads its JSON
+// NodeConfig from stdin (or -config file), dials the orchestrator's
+// control address, joins the gossip overlay it is handed, and
+// heartbeats its O(log n) neighbors until told to stop — or until the
+// control channel dies, so an orphaned node exits rather than
+// lingering. cmd/fdorch spawns fleets of these and signals them:
+// SIGKILL for crashes, SIGSTOP/SIGCONT for freezes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"realisticfd/internal/cluster"
+)
+
+func main() {
+	configPath := flag.String("config", "", "node config JSON file (default: stdin)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdnode:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	if err := cluster.RunNodeStdin(r); err != nil {
+		fmt.Fprintln(os.Stderr, "fdnode:", err)
+		os.Exit(1)
+	}
+}

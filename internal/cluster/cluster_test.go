@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"realisticfd/internal/scenario"
+	"realisticfd/internal/transport"
+)
+
+// childEnv flags the re-exec: when set, the test binary is not a test
+// run at all but one cluster node reading its config from stdin —
+// exactly what cmd/fdnode does, so the process-spawner test exercises
+// real fork/exec, real signals, real sockets without needing a
+// prebuilt binary on the test host.
+const childEnv = "FDNODE_TEST_CHILD"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) == "1" {
+		if err := RunNodeStdin(os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// smokeSpec is the shared kill+pause+partition+heal schedule: two
+// nodes SIGKILLed at t0, one paused across the partition window, one
+// boundary partitioned and healed, with bound_ms turning the run into
+// an assertion.
+func smokeSpec(n int) scenario.LiveSpec {
+	spec := scenario.LiveSpec{
+		Name:       "smoke",
+		N:          n,
+		IntervalMs: 25,
+		Estimator:  scenario.LiveEstimatorSpec{Kind: scenario.LiveEstFixed, TimeoutMs: 300},
+		WarmupMs:   800,
+		SettleMs:   1500,
+		BoundMs:    2500,
+		Schedule: []scenario.LiveEventSpec{
+			{AtMs: 0, Action: scenario.LiveKill, Nodes: []int{3, 7}},
+			{AtMs: 200, Action: scenario.LivePause, Nodes: []int{5}},
+			{AtMs: 400, Action: scenario.LivePartition, Side: []int{1, 2}},
+			{AtMs: 900, Action: scenario.LiveHeal},
+			{AtMs: 900, Action: scenario.LiveResume, Nodes: []int{5}},
+		},
+	}
+	spec.Normalize()
+	return spec
+}
+
+// TestInProcClusterKillPartitionHeal is the full fault schedule
+// against goroutine nodes: the same runtime as real processes, in one
+// address space so the race detector sees everything.
+func TestInProcClusterKillPartitionHeal(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Spec:         smokeSpec(16),
+		Spawner:      InProcSpawner{},
+		Seed:         1,
+		IncludePairs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("assertions failed:\n%s", strings.Join(res.Failures, "\n"))
+	}
+	if res.Reports != 14 || res.Expected != 14 {
+		t.Fatalf("reports %d/%d, want 14/14", res.Reports, res.Expected)
+	}
+	if len(res.Kills) != 2 {
+		t.Fatalf("kill summaries: %+v", res.Kills)
+	}
+	for _, kr := range res.Kills {
+		if kr.Detected != kr.Observers || kr.Observers != 14 {
+			t.Fatalf("killed node %d: detected by %d/%d", kr.Target, kr.Detected, kr.Observers)
+		}
+		if kr.MaxDetectionMs <= 0 || kr.MaxDetectionMs > 2500 {
+			t.Fatalf("killed node %d: max T_D %.0fms outside (0, 2500]", kr.Target, kr.MaxDetectionMs)
+		}
+	}
+	// The paused node healed everywhere.
+	for _, pr := range res.Pauses {
+		if len(pr.SuspectedAtEndBy) != 0 {
+			t.Fatalf("resumed node %d still suspected by %v", pr.Target, pr.SuspectedAtEndBy)
+		}
+	}
+	// The whole point of the gossip overlay: per-node heartbeat
+	// fan-out stays at the overlay degree, which is O(log n).
+	logBound := 2 * int(math.Ceil(math.Log2(float64(res.N))))
+	if res.OverlayDegree > logBound {
+		t.Fatalf("overlay degree %d exceeds 2⌈log2 %d⌉ = %d", res.OverlayDegree, res.N, logBound)
+	}
+	if res.MaxDistinctDestinations > res.OverlayDegree {
+		t.Fatalf("fan-out %d exceeds overlay degree %d", res.MaxDistinctDestinations, res.OverlayDegree)
+	}
+	if len(res.Pairs) != 14*15 {
+		t.Fatalf("pair matrix has %d entries, want %d", len(res.Pairs), 14*15)
+	}
+}
+
+// TestProcClusterKillPauseResume re-execs this test binary as real
+// node processes and delivers the faults as signals: SIGKILL is a
+// real crash, SIGSTOP a real freeze the victim cannot refuse.
+func TestProcClusterKillPauseResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	spec := scenario.LiveSpec{
+		Name:       "proc-smoke",
+		N:          8,
+		IntervalMs: 25,
+		Estimator:  scenario.LiveEstimatorSpec{Kind: scenario.LiveEstFixed, TimeoutMs: 300},
+		WarmupMs:   800,
+		SettleMs:   1500,
+		BoundMs:    3000,
+		Schedule: []scenario.LiveEventSpec{
+			{AtMs: 0, Action: scenario.LiveKill, Nodes: []int{2}},
+			{AtMs: 100, Action: scenario.LivePause, Nodes: []int{4}},
+			{AtMs: 800, Action: scenario.LiveResume, Nodes: []int{4}},
+		},
+	}
+	spec.Normalize()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Spec:    spec,
+		Spawner: &ProcSpawner{Command: []string{os.Args[0]}, Env: []string{childEnv + "=1"}, Stderr: os.Stderr},
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("assertions failed:\n%s", strings.Join(res.Failures, "\n"))
+	}
+	if res.Reports != 7 {
+		t.Fatalf("reports %d, want 7", res.Reports)
+	}
+	if len(res.Kills) != 1 || res.Kills[0].Detected != 7 {
+		t.Fatalf("kill summary: %+v", res.Kills)
+	}
+}
+
+// wedgeSpawner runs one designated node as a control-channel zombie:
+// it says hello, accepts its topology, then never answers anything —
+// the shape of a wedged process. The orchestrator must fail the run
+// within CollectTimeout, not hang.
+type wedgeSpawner struct {
+	inner   InProcSpawner
+	wedgeID int
+}
+
+type wedgeHandle struct {
+	conn net.Conn
+	done chan struct{}
+}
+
+func (h *wedgeHandle) Kill() error   { _ = h.conn.Close(); return nil }
+func (h *wedgeHandle) Pause() error  { return nil }
+func (h *wedgeHandle) Resume() error { return nil }
+func (h *wedgeHandle) Shutdown() {
+	_ = h.conn.Close()
+	<-h.done
+}
+
+func (w *wedgeSpawner) Spawn(cfg NodeConfig) (NodeHandle, error) {
+	if cfg.ID != w.wedgeID {
+		return w.inner.Spawn(cfg)
+	}
+	conn, err := net.Dial("tcp", cfg.ControlAddr)
+	if err != nil {
+		return nil, err
+	}
+	h := &wedgeHandle{conn: conn, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		// A data-plane address nobody answers at: peers' sends to the
+		// wedge are silently lost, like frames into a dead NIC.
+		_ = transport.WriteJSON(conn, ctlMsg{Kind: ctlHello, ID: cfg.ID, Addr: "127.0.0.1:1"})
+		for {
+			var m ctlMsg
+			if err := transport.ReadJSON(conn, &m); err != nil {
+				return
+			}
+		}
+	}()
+	return h, nil
+}
+
+// TestOrchestratorFailsFastOnWedge pins the CI-critical property:
+// a node that stops responding fails the run within the collect
+// timeout instead of hanging it.
+func TestOrchestratorFailsFastOnWedge(t *testing.T) {
+	spec := scenario.LiveSpec{
+		Name:       "wedge",
+		N:          8,
+		IntervalMs: 25,
+		Estimator:  scenario.LiveEstimatorSpec{Kind: scenario.LiveEstFixed, TimeoutMs: 300},
+		WarmupMs:   300,
+		SettleMs:   300,
+		Schedule: []scenario.LiveEventSpec{
+			{AtMs: 0, Action: scenario.LiveKill, Nodes: []int{3}},
+		},
+	}
+	spec.Normalize()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	res, err := Run(ctx, Config{
+		Spec:           spec,
+		Spawner:        &wedgeSpawner{wedgeID: 8},
+		CollectTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("wedged run took %v, should fail fast", elapsed)
+	}
+	found := false
+	for _, f := range res.Failures {
+		if strings.Contains(f, "node 8") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wedge not reported: %v", res.Failures)
+	}
+	if res.Reports != 6 {
+		t.Fatalf("reports %d, want 6 (everyone but the corpse and the wedge)", res.Reports)
+	}
+}
+
+func TestEstimatorFactoryKinds(t *testing.T) {
+	interval := 50 * time.Millisecond
+	cases := []struct {
+		spec scenario.LiveEstimatorSpec
+		want string
+	}{
+		{scenario.LiveEstimatorSpec{Kind: scenario.LiveEstFixed, TimeoutMs: 700}, "fixed(700ms)"},
+		{scenario.LiveEstimatorSpec{Kind: scenario.LiveEstChen}, "chen(w=16,α=200ms)"},
+		{scenario.LiveEstimatorSpec{}, "phi(w=64,Φ=8.0)"},
+	}
+	for _, tc := range cases {
+		if got := EstimatorFactory(tc.spec, interval)().Name(); got != tc.want {
+			t.Errorf("EstimatorFactory(%+v) built %q, want %q", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	base := NodeConfig{ID: 1, N: 4, ControlAddr: "127.0.0.1:9", IntervalMs: 10, SamplePeriodMs: 10}
+	if err := base.validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []NodeConfig{
+		{ID: 0, N: 4, ControlAddr: "x", IntervalMs: 10, SamplePeriodMs: 10},
+		{ID: 5, N: 4, ControlAddr: "x", IntervalMs: 10, SamplePeriodMs: 10},
+		{ID: 1, N: 1, ControlAddr: "x", IntervalMs: 10, SamplePeriodMs: 10},
+		{ID: 1, N: 4, ControlAddr: "", IntervalMs: 10, SamplePeriodMs: 10},
+		{ID: 1, N: 4, ControlAddr: "x", IntervalMs: 0, SamplePeriodMs: 10},
+	}
+	for i, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package cluster is the live-cluster orchestration harness: it
+// spawns N real node processes (cmd/fdnode — or goroutines, for
+// in-process runs), wires them into a generated gossip overlay
+// reusing internal/scenario's topology generators, executes a
+// scripted fault schedule — SIGKILL, SIGSTOP/SIGCONT, socket-level
+// partitions — and folds each node's suspicion timelines through
+// internal/qos into the same Chen-Toueg-Aguilera vocabulary as the
+// simulator, so live runs and E-table rows are directly comparable.
+//
+// The control plane is one TCP connection per node to the
+// orchestrator, carrying length-prefixed JSON frames (the transport
+// package's codec): hello → topology → {cut, heal}* → collect →
+// report → stop. The data plane is the gossip heartbeat overlay of
+// internal/heartbeat over internal/transport TCP nodes; each node
+// heartbeats only its O(log n) overlay neighbors.
+package cluster
+
+import (
+	"realisticfd/internal/qos"
+)
+
+// Control message kinds.
+const (
+	ctlHello    = "hello"    // node → orch: I'm up, data plane at Addr
+	ctlTopology = "topology" // orch → node: your overlay peers; start gossiping
+	ctlCut      = "cut"      // orch → node: drop frames to/from Targets
+	ctlHeal     = "heal"     // orch → node: undo cuts (All or Targets)
+	ctlCollect  = "collect"  // orch → node: send your report
+	ctlReport   = "report"   // node → orch: suspicion timelines + stats
+	ctlStop     = "stop"     // orch → node: clean exit
+)
+
+// ctlMsg is one control-channel frame; Kind selects which fields are
+// meaningful.
+type ctlMsg struct {
+	Kind string `json:"kind"`
+
+	// hello
+	ID   int    `json:"id,omitempty"`
+	Addr string `json:"addr,omitempty"`
+
+	// topology: data-plane addresses of this node's overlay neighbors.
+	Peers       map[int]string `json:"peers,omitempty"`
+	GossipPeers []int          `json:"gossip_peers,omitempty"`
+
+	// cut / heal
+	Targets []int `json:"targets,omitempty"`
+	All     bool  `json:"all,omitempty"`
+
+	// report
+	Report *NodeReport `json:"report,omitempty"`
+}
+
+// NodeReport is one node's collected observations: per-peer suspicion
+// verdict change-points (the node samples every sample period but
+// ships only the flips), plus gossip fan-out accounting and the
+// membership feed state when the cluster is small enough for
+// model.ProcessSet.
+type NodeReport struct {
+	ID            int                `json:"id"`
+	StartUnixNano int64              `json:"start"`
+	EndUnixNano   int64              `json:"end"`
+	Samples       int                `json:"samples"`
+	Flips         map[int][]qos.Flip `json:"flips,omitempty"`
+	Destinations  int                `json:"destinations"`
+	Rounds        uint64             `json:"rounds"`
+	ViewID        int                `json:"view_id,omitempty"`
+	Excluded      []int              `json:"excluded,omitempty"`
+}

@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"realisticfd/internal/heartbeat"
+	"realisticfd/internal/membership"
+	"realisticfd/internal/model"
+	"realisticfd/internal/qos"
+	"realisticfd/internal/scenario"
+	"realisticfd/internal/transport"
+)
+
+// NodeConfig is the JSON document handed to each node — cmd/fdnode
+// reads it from stdin; in-process nodes get it directly. The node
+// dials ControlAddr, introduces itself, and receives its overlay
+// wiring from the orchestrator; everything else is local policy.
+type NodeConfig struct {
+	// ID is this node's 1-based identity.
+	ID int `json:"id"`
+	// N is the cluster size.
+	N int `json:"n"`
+	// ControlAddr is the orchestrator's control listener.
+	ControlAddr string `json:"control_addr"`
+	// IntervalMs is the gossip round period (default 50).
+	IntervalMs int `json:"interval_ms,omitempty"`
+	// SamplePeriodMs is the verdict sampling period for the QoS
+	// timelines (default: the gossip interval).
+	SamplePeriodMs int `json:"sample_period_ms,omitempty"`
+	// Fanout bounds gossip destinations per round; 0 means every
+	// overlay neighbor.
+	Fanout int `json:"fanout,omitempty"`
+	// Estimator selects the per-peer suspicion estimator.
+	Estimator scenario.LiveEstimatorSpec `json:"estimator,omitzero"`
+	// Seed drives fanout sampling.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+func (c *NodeConfig) normalize() {
+	if c.IntervalMs == 0 {
+		c.IntervalMs = 50
+	}
+	if c.SamplePeriodMs == 0 {
+		c.SamplePeriodMs = c.IntervalMs
+	}
+}
+
+func (c NodeConfig) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("cluster: node config n = %d must be ≥ 2", c.N)
+	}
+	if c.ID < 1 || c.ID > c.N {
+		return fmt.Errorf("cluster: node id %d outside [1, %d]", c.ID, c.N)
+	}
+	if c.ControlAddr == "" {
+		return fmt.Errorf("cluster: node config needs control_addr")
+	}
+	if c.IntervalMs < 1 || c.SamplePeriodMs < 1 {
+		return fmt.Errorf("cluster: node periods must be ≥ 1ms")
+	}
+	return nil
+}
+
+// EstimatorFactory compiles a declarative estimator spec into the
+// constructor the gossip layer calls per monitored peer. Defaults
+// scale with the gossip interval: with relayed counters a peer's
+// "heartbeat" arrives roughly once per interval, so margins are
+// expressed in multiples of it.
+func EstimatorFactory(spec scenario.LiveEstimatorSpec, interval time.Duration) func() heartbeat.Estimator {
+	switch spec.Kind {
+	case scenario.LiveEstFixed:
+		timeout := time.Duration(spec.TimeoutMs) * time.Millisecond
+		return func() heartbeat.Estimator {
+			return &heartbeat.FixedTimeout{Timeout: timeout}
+		}
+	case scenario.LiveEstChen:
+		window := spec.Window
+		if window <= 0 {
+			window = 16
+		}
+		alpha := time.Duration(spec.AlphaMs) * time.Millisecond
+		if alpha <= 0 {
+			alpha = 4 * interval
+		}
+		return func() heartbeat.Estimator {
+			return &heartbeat.Chen{Window: window, Alpha: alpha}
+		}
+	default: // φ-accrual, the zero value
+		window := spec.Window
+		if window <= 0 {
+			window = 64
+		}
+		phi := spec.Phi
+		if phi <= 0 {
+			phi = 8
+		}
+		minStd := time.Duration(spec.MinStdDevMs) * time.Millisecond
+		if minStd <= 0 {
+			minStd = interval / 4
+		}
+		return func() heartbeat.Estimator {
+			return &heartbeat.PhiAccrual{
+				Window:       window,
+				Threshold:    phi,
+				MinStdDev:    minStd,
+				FirstTimeout: 20 * interval,
+			}
+		}
+	}
+}
+
+// RunNode runs one cluster node to completion: dial the orchestrator,
+// hello, receive the overlay, gossip until told to stop (or until the
+// control connection dies — an orphaned node exits rather than
+// lingering). This is cmd/fdnode's entire main.
+func RunNode(cfg NodeConfig) error { return runNode(cfg, nil) }
+
+// RunNodeStdin decodes a NodeConfig strictly from r and runs it.
+func RunNodeStdin(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg NodeConfig
+	if err := dec.Decode(&cfg); err != nil {
+		return fmt.Errorf("cluster: node config: %w", err)
+	}
+	return RunNode(cfg)
+}
+
+// inprocHandle lets the in-process spawner stand in for the kernel:
+// Kill closes a channel the node loop selects on, Pause/Resume mute
+// the gossiper the way SIGSTOP freezes a process.
+type inprocHandle struct {
+	mu     sync.Mutex
+	g      *heartbeat.Gossiper
+	paused bool
+
+	kill     chan struct{}
+	killOnce sync.Once
+	done     chan struct{}
+	err      error
+}
+
+func (h *inprocHandle) register(g *heartbeat.Gossiper) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.g = g
+	if h.paused {
+		g.SetMuted(true)
+	}
+}
+
+func (h *inprocHandle) setPaused(paused bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.paused = paused
+	if h.g != nil {
+		h.g.SetMuted(paused)
+	}
+}
+
+func (h *inprocHandle) isPaused() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.paused
+}
+
+// Kill implements NodeHandle: abrupt death, no report, no goodbye.
+func (h *inprocHandle) Kill() error {
+	h.killOnce.Do(func() { close(h.kill) })
+	return nil
+}
+
+// Pause implements NodeHandle.
+func (h *inprocHandle) Pause() error { h.setPaused(true); return nil }
+
+// Resume implements NodeHandle.
+func (h *inprocHandle) Resume() error { h.setPaused(false); return nil }
+
+// Shutdown implements NodeHandle: kill if still running, wait for the
+// goroutine to unwind.
+func (h *inprocHandle) Shutdown() {
+	_ = h.Kill()
+	<-h.done
+}
+
+// runNode is the node runtime shared by real processes (h == nil) and
+// in-process nodes.
+func runNode(cfg NodeConfig, h *inprocHandle) error {
+	cfg.normalize()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	interval := time.Duration(cfg.IntervalMs) * time.Millisecond
+	samplePeriod := time.Duration(cfg.SamplePeriodMs) * time.Millisecond
+
+	tr, err := transport.NewTCPNode(model.ProcessID(cfg.ID))
+	if err != nil {
+		return err
+	}
+	ctl, err := net.Dial("tcp", cfg.ControlAddr)
+	if err != nil {
+		_ = tr.Close()
+		return fmt.Errorf("cluster: node %d: dial control: %w", cfg.ID, err)
+	}
+	defer func() { _ = ctl.Close() }()
+
+	ctlr := bufio.NewReader(ctl)
+	if err := transport.WriteJSON(ctl, ctlMsg{Kind: ctlHello, ID: cfg.ID, Addr: tr.Addr()}); err != nil {
+		_ = tr.Close()
+		return fmt.Errorf("cluster: node %d: hello: %w", cfg.ID, err)
+	}
+	var topo ctlMsg
+	if err := transport.ReadJSON(ctlr, &topo); err != nil {
+		_ = tr.Close()
+		return fmt.Errorf("cluster: node %d: await topology: %w", cfg.ID, err)
+	}
+	if topo.Kind != ctlTopology || len(topo.GossipPeers) == 0 {
+		_ = tr.Close()
+		return fmt.Errorf("cluster: node %d: expected topology, got %q", cfg.ID, topo.Kind)
+	}
+	for id, addr := range topo.Peers {
+		tr.SetPeer(model.ProcessID(id), addr)
+	}
+
+	g, err := heartbeat.NewGossiper(tr, heartbeat.GossipConfig{
+		Self:         cfg.ID,
+		N:            cfg.N,
+		Peers:        topo.GossipPeers,
+		Fanout:       cfg.Fanout,
+		Interval:     interval,
+		NewEstimator: EstimatorFactory(cfg.Estimator, interval),
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		_ = tr.Close()
+		return err
+	}
+	defer g.Close()
+	if h != nil {
+		h.register(g)
+	}
+	// Non-gossip envelopes have no consumer in a detection-only node;
+	// drain them so the channel never fills.
+	go func() {
+		for range g.Forward() {
+		}
+	}()
+
+	// At simulator scale the membership feed derives shrink-only views
+	// from the disseminated suspicion state; larger clusters run
+	// detection-only (ProcessSet is a 64-bit bitmap).
+	var feed *membership.Feed
+	if cfg.N <= model.MaxProcesses {
+		feed, _ = membership.NewFeed(model.ProcessID(cfg.ID), cfg.N)
+	}
+
+	// Control reader: buffered well past the handful of frames an
+	// orchestrator ever sends, so the goroutine cannot jam if the loop
+	// exits first; the deferred ctl.Close() unblocks the read.
+	ctlIn := make(chan ctlMsg, 64)
+	ctlErr := make(chan error, 1)
+	go func() {
+		for {
+			var m ctlMsg
+			if err := transport.ReadJSON(ctlr, &m); err != nil {
+				ctlErr <- err
+				return
+			}
+			ctlIn <- m
+		}
+	}()
+
+	start := time.Now()
+	last := make([]bool, cfg.N)
+	flips := map[int][]qos.Flip{}
+	samples := 0
+	sample := func(now time.Time) {
+		if h != nil && h.isPaused() {
+			return // a SIGSTOPped process samples nothing
+		}
+		for i, s := range g.Verdicts(now) {
+			if i+1 == cfg.ID || s == last[i] {
+				continue
+			}
+			last[i] = s
+			flips[i+1] = append(flips[i+1], qos.Flip{AtUnixNano: now.UnixNano(), Suspected: s})
+		}
+		samples++
+		if feed != nil {
+			set := model.NewProcessSet()
+			for _, q := range g.CommunitySuspects() {
+				set = set.Add(model.ProcessID(q))
+			}
+			feed.Update(set)
+		}
+	}
+
+	var killCh chan struct{}
+	if h != nil {
+		killCh = h.kill
+	}
+	ticker := time.NewTicker(samplePeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case now := <-ticker.C:
+			sample(now)
+		case m := <-ctlIn:
+			switch m.Kind {
+			case ctlCut:
+				for _, t := range m.Targets {
+					tr.SetCut(model.ProcessID(t), true)
+				}
+			case ctlHeal:
+				if m.All {
+					for _, p := range tr.Cuts() {
+						tr.SetCut(p, false)
+					}
+				} else {
+					for _, t := range m.Targets {
+						tr.SetCut(model.ProcessID(t), false)
+					}
+				}
+			case ctlCollect:
+				now := time.Now()
+				sample(now)
+				rep := &NodeReport{
+					ID:            cfg.ID,
+					StartUnixNano: start.UnixNano(),
+					EndUnixNano:   now.UnixNano(),
+					Samples:       samples,
+					Flips:         flips,
+					Destinations:  g.DistinctDestinations(),
+					Rounds:        g.Rounds(),
+				}
+				if feed != nil {
+					rep.ViewID = feed.View().ID
+					for _, p := range feed.Excluded().Slice() {
+						rep.Excluded = append(rep.Excluded, int(p))
+					}
+				}
+				if err := transport.WriteJSON(ctl, ctlMsg{Kind: ctlReport, Report: rep}); err != nil {
+					return fmt.Errorf("cluster: node %d: report: %w", cfg.ID, err)
+				}
+			case ctlStop:
+				return nil
+			}
+		case err := <-ctlErr:
+			// Orchestrator gone: an orphaned node exits instead of
+			// gossiping forever.
+			return fmt.Errorf("cluster: node %d: control channel: %w", cfg.ID, err)
+		case <-killCh:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,663 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"time"
+
+	"realisticfd/internal/model"
+	"realisticfd/internal/qos"
+	"realisticfd/internal/scenario"
+	"realisticfd/internal/transport"
+)
+
+// Config parameterizes one orchestrated run.
+type Config struct {
+	// Spec is the normalized, validated live scenario.
+	Spec scenario.LiveSpec
+	// Spawner launches the nodes (processes or goroutines).
+	Spawner Spawner
+	// Seed perturbs each node's fanout sampling (node i gets Seed+i).
+	Seed int64
+	// IncludePairs adds the full observer×target metric matrix to the
+	// result (n·(n−1) entries — summaries only, by default).
+	IncludePairs bool
+	// HelloTimeout bounds cluster assembly (default 60s).
+	HelloTimeout time.Duration
+	// CollectTimeout bounds report collection (default 30s): a wedged
+	// node fails the run instead of hanging it.
+	CollectTimeout time.Duration
+	// Log receives progress lines; nil is silent.
+	Log io.Writer
+}
+
+// PairMetric is one observer's QoS verdict about one target, folded
+// from its flip report — the live counterpart of one simulator E-row
+// cell.
+type PairMetric struct {
+	Observer           int     `json:"observer"`
+	Target             int     `json:"target"`
+	Detected           bool    `json:"detected,omitempty"`
+	DetectionMs        float64 `json:"detection_ms,omitempty"`
+	Mistakes           int     `json:"mistakes,omitempty"`
+	MistakeRatePerSec  float64 `json:"mistake_rate_per_sec,omitempty"`
+	AvgMistakeMs       float64 `json:"avg_mistake_ms,omitempty"`
+	QueryAccuracy      float64 `json:"query_accuracy"`
+	SuspectedAtCollect bool    `json:"suspected_at_collect,omitempty"`
+}
+
+// KillReport aggregates detection of one killed node across the
+// surviving observers.
+type KillReport struct {
+	Target          int     `json:"target"`
+	AtMs            int64   `json:"at_ms"`
+	Observers       int     `json:"observers"`
+	Detected        int     `json:"detected"`
+	MeanDetectionMs float64 `json:"mean_detection_ms"`
+	MaxDetectionMs  float64 `json:"max_detection_ms"`
+}
+
+// PauseReport records which observers still suspected a
+// paused-then-resumed node when metrics were collected — the
+// wrongly-suspected-forever check.
+type PauseReport struct {
+	Target           int   `json:"target"`
+	SuspectedAtEndBy []int `json:"suspected_at_end_by,omitempty"`
+}
+
+// NodeView is one reporting node's final membership view (clusters
+// within the 64-process ProcessSet bound run the membership feed).
+type NodeView struct {
+	Node     int   `json:"node"`
+	ViewID   int   `json:"view_id"`
+	Excluded []int `json:"excluded,omitempty"`
+}
+
+// Result is the orchestrator's verdict on one run.
+type Result struct {
+	Name           string `json:"name"`
+	N              int    `json:"n"`
+	Topology       string `json:"topology"`
+	IntervalMs     int    `json:"interval_ms"`
+	SamplePeriodMs int    `json:"sample_period_ms"`
+	Fanout         int    `json:"fanout,omitempty"`
+	Estimator      string `json:"estimator"`
+	ElapsedMs      int64  `json:"elapsed_ms"`
+
+	// Reports is how many of the Expected surviving nodes reported.
+	Reports  int `json:"reports"`
+	Expected int `json:"expected"`
+
+	// MaxDistinctDestinations is the largest per-node heartbeat
+	// fan-out observed; OverlayDegree is the overlay's max degree —
+	// the O(log n) bound the gossip layer is accountable to.
+	MaxDistinctDestinations int `json:"max_distinct_destinations"`
+	OverlayDegree           int `json:"overlay_degree"`
+
+	// False-suspicion aggregate over clean targets (never killed,
+	// never paused).
+	FalseSuspicionMistakes int     `json:"false_suspicion_mistakes"`
+	MinQueryAccuracy       float64 `json:"min_query_accuracy"`
+
+	Kills  []KillReport  `json:"kills,omitempty"`
+	Pauses []PauseReport `json:"pauses,omitempty"`
+	Views  []NodeView    `json:"views,omitempty"`
+
+	// Failures are violated assertions (bound_ms) and collection
+	// gaps; empty means the run passed.
+	Failures []string `json:"failures,omitempty"`
+
+	Pairs []PairMetric `json:"pairs,omitempty"`
+}
+
+// nodeState is the orchestrator's book-keeping for one node.
+type nodeState struct {
+	id     int
+	handle NodeHandle
+	conn   net.Conn
+	addr   string
+
+	killed     bool
+	killedAt   time.Time
+	paused     bool
+	pausedEver bool
+}
+
+// inboundMsg is one post-hello control frame (or read error) from a
+// node's control connection.
+type inboundMsg struct {
+	id  int
+	msg ctlMsg
+	err error
+}
+
+// helloMsg is the first frame of a freshly connected node.
+type helloMsg struct {
+	conn net.Conn
+	r    *bufio.Reader
+	msg  ctlMsg
+	err  error
+}
+
+// Run executes one live-cluster scenario end to end: assemble the
+// cluster, wire the overlay, run the fault schedule, collect
+// reports, fold metrics. The context is the hard deadline — on
+// cancellation everything spawned is reclaimed and an error returned.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	spec := cfg.Spec
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Spawner == nil {
+		return nil, fmt.Errorf("cluster: orchestrator needs a spawner")
+	}
+	helloTimeout := cfg.HelloTimeout
+	if helloTimeout <= 0 {
+		helloTimeout = 60 * time.Second
+	}
+	collectTimeout := cfg.CollectTimeout
+	if collectTimeout <= 0 {
+		collectTimeout = 30 * time.Second
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+
+	// Overlay first: if the topology is unbuildable there is nothing
+	// to spawn.
+	edges, err := spec.Topology.Edges(spec.N)
+	if err != nil {
+		return nil, err
+	}
+	neighbors := make(map[int][]int, spec.N)
+	for _, e := range edges {
+		a, b := int(e.A), int(e.B)
+		neighbors[a] = append(neighbors[a], b)
+		neighbors[b] = append(neighbors[b], a)
+	}
+	degree := 0
+	for _, ns := range neighbors {
+		sort.Ints(ns)
+		if len(ns) > degree {
+			degree = len(ns)
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: control listener: %w", err)
+	}
+	defer func() { _ = ln.Close() }()
+
+	hellos := make(chan helloMsg, spec.N)
+	inbound := make(chan inboundMsg, 4*spec.N)
+	readers := make(map[int]*bufio.Reader, spec.N)
+	go acceptLoop(ln, hellos, helloTimeout)
+
+	states := make(map[int]*nodeState, spec.N)
+	defer func() {
+		for _, st := range states {
+			if st.conn != nil {
+				_ = st.conn.Close()
+			}
+			if st.handle != nil {
+				st.handle.Shutdown()
+			}
+		}
+	}()
+
+	logf("spawning %d nodes (control %s)", spec.N, ln.Addr())
+	for id := 1; id <= spec.N; id++ {
+		h, err := cfg.Spawner.Spawn(NodeConfig{
+			ID:             id,
+			N:              spec.N,
+			ControlAddr:    ln.Addr().String(),
+			IntervalMs:     spec.IntervalMs,
+			SamplePeriodMs: spec.SamplePeriodMs,
+			Fanout:         spec.Fanout,
+			Estimator:      spec.Estimator,
+			Seed:           cfg.Seed + int64(id),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: spawn node %d: %w", id, err)
+		}
+		states[id] = &nodeState{id: id, handle: h}
+	}
+
+	// Assemble: every node must say hello before the overlay is wired.
+	deadline := time.NewTimer(helloTimeout)
+	defer deadline.Stop()
+	for got := 0; got < spec.N; {
+		select {
+		case h := <-hellos:
+			if h.err != nil {
+				return nil, fmt.Errorf("cluster: hello: %w", h.err)
+			}
+			st := states[h.msg.ID]
+			if st == nil || h.msg.Kind != ctlHello {
+				_ = h.conn.Close()
+				return nil, fmt.Errorf("cluster: bad hello (kind %q, id %d)", h.msg.Kind, h.msg.ID)
+			}
+			if st.conn != nil {
+				_ = h.conn.Close()
+				return nil, fmt.Errorf("cluster: duplicate hello from node %d", h.msg.ID)
+			}
+			st.conn = h.conn
+			st.addr = h.msg.Addr
+			readers[st.id] = h.r
+			got++
+		case <-deadline.C:
+			return nil, fmt.Errorf("cluster: only %d/%d nodes said hello within %v", countConnected(states), spec.N, helloTimeout)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	logf("all %d nodes up; wiring %s overlay (max degree %d)", spec.N, spec.Topology.Kind, degree)
+
+	// Wire the overlay and start the per-node control readers.
+	for id, st := range states {
+		peers := make(map[int]string, len(neighbors[id]))
+		for _, nb := range neighbors[id] {
+			peers[nb] = states[nb].addr
+		}
+		msg := ctlMsg{Kind: ctlTopology, Peers: peers, GossipPeers: neighbors[id]}
+		if err := transport.WriteJSON(st.conn, msg); err != nil {
+			return nil, fmt.Errorf("cluster: send topology to node %d: %w", id, err)
+		}
+		go readLoop(id, readers[id], inbound)
+	}
+
+	if err := sleepCtx(ctx, time.Duration(spec.WarmupMs)*time.Millisecond); err != nil {
+		return nil, err
+	}
+
+	// The schedule runs against t0 = end of warmup.
+	t0 := time.Now()
+	ordered := append([]scenario.LiveEventSpec(nil), spec.Schedule...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].AtMs < ordered[j].AtMs })
+	activeCuts := map[[2]int]bool{}
+	for _, ev := range ordered {
+		if err := sleepCtx(ctx, time.Until(t0.Add(time.Duration(ev.AtMs)*time.Millisecond))); err != nil {
+			return nil, err
+		}
+		if err := execEvent(spec, ev, states, activeCuts, logf); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := sleepCtx(ctx, time.Duration(spec.SettleMs)*time.Millisecond); err != nil {
+		return nil, err
+	}
+	// A node still paused at collection cannot report; resume it.
+	// (Spec validation forbids this whenever bound_ms asserts.)
+	for _, st := range states {
+		if st.paused && !st.killed {
+			logf("node %d still paused at collection; resuming", st.id)
+			_ = st.handle.Resume()
+			st.paused = false
+		}
+	}
+
+	// Collect: every survivor reports or the run fails — fast.
+	var failures []string
+	expected := map[int]bool{}
+	for id, st := range states {
+		if st.killed {
+			continue
+		}
+		if err := transport.WriteJSON(st.conn, ctlMsg{Kind: ctlCollect}); err != nil {
+			failures = append(failures, fmt.Sprintf("node %d: collect request failed: %v", id, err))
+			continue
+		}
+		expected[id] = true
+	}
+	reports := make(map[int]*NodeReport, len(expected))
+	collectDeadline := time.NewTimer(collectTimeout)
+	defer collectDeadline.Stop()
+collect:
+	for len(reports) < len(expected) {
+		select {
+		case in := <-inbound:
+			if in.err != nil {
+				if st := states[in.id]; st != nil && !st.killed && expected[in.id] && reports[in.id] == nil {
+					failures = append(failures, fmt.Sprintf("node %d: control channel died before reporting: %v", in.id, in.err))
+					delete(expected, in.id)
+				}
+				continue
+			}
+			if in.msg.Kind == ctlReport && in.msg.Report != nil && expected[in.id] {
+				reports[in.id] = in.msg.Report
+			}
+		case <-collectDeadline.C:
+			for id := range expected {
+				if reports[id] == nil {
+					failures = append(failures, fmt.Sprintf("node %d: no report within %v", id, collectTimeout))
+				}
+			}
+			break collect
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	logf("collected %d/%d reports", len(reports), len(expected))
+
+	// Stop the survivors; the deferred cleanup reclaims everything.
+	for _, st := range states {
+		if !st.killed && st.conn != nil {
+			_ = transport.WriteJSON(st.conn, ctlMsg{Kind: ctlStop})
+		}
+	}
+
+	res := foldResult(spec, cfg, states, reports, failures, degree, time.Since(t0))
+	interval := time.Duration(spec.IntervalMs) * time.Millisecond
+	res.Estimator = EstimatorFactory(spec.Estimator, interval)().Name()
+	return res, nil
+}
+
+// execEvent applies one scheduled fault.
+func execEvent(spec scenario.LiveSpec, ev scenario.LiveEventSpec, states map[int]*nodeState, activeCuts map[[2]int]bool, logf func(string, ...any)) error {
+	switch ev.Action {
+	case scenario.LiveKill:
+		for _, id := range ev.Nodes {
+			st := states[id]
+			if err := st.handle.Kill(); err != nil {
+				return fmt.Errorf("cluster: kill node %d: %w", id, err)
+			}
+			st.killed = true
+			st.killedAt = time.Now()
+			logf("t+%dms: killed node %d", ev.AtMs, id)
+		}
+	case scenario.LivePause:
+		for _, id := range ev.Nodes {
+			st := states[id]
+			if err := st.handle.Pause(); err != nil {
+				return fmt.Errorf("cluster: pause node %d: %w", id, err)
+			}
+			st.paused = true
+			st.pausedEver = true
+			logf("t+%dms: paused node %d", ev.AtMs, id)
+		}
+	case scenario.LiveResume:
+		for _, id := range ev.Nodes {
+			st := states[id]
+			if err := st.handle.Resume(); err != nil {
+				return fmt.Errorf("cluster: resume node %d: %w", id, err)
+			}
+			st.paused = false
+			logf("t+%dms: resumed node %d", ev.AtMs, id)
+		}
+	case scenario.LivePartition, scenario.LiveHeal:
+		edges, err := spec.ResolveEdges(ev)
+		if err != nil {
+			return err
+		}
+		cut := ev.Action == scenario.LivePartition
+		if !cut && edges == nil {
+			// Bare heal: undo every active cut.
+			for e := range activeCuts {
+				edges = append(edges, e)
+			}
+		}
+		targets := map[int][]int{}
+		for _, e := range edges {
+			a, b := e[0], e[1]
+			if a > b {
+				a, b = b, a
+			}
+			targets[a] = append(targets[a], b)
+			targets[b] = append(targets[b], a)
+			if cut {
+				activeCuts[[2]int{a, b}] = true
+			} else {
+				delete(activeCuts, [2]int{a, b})
+			}
+		}
+		kind := ctlCut
+		if !cut {
+			kind = ctlHeal
+		}
+		for id, ts := range targets {
+			st := states[id]
+			if st.killed || st.conn == nil {
+				continue
+			}
+			sort.Ints(ts)
+			// A write to a freshly killed node's half-open socket can
+			// succeed or fail; either way the node is gone, so errors
+			// here are not fatal.
+			_ = transport.WriteJSON(st.conn, ctlMsg{Kind: kind, Targets: ts})
+		}
+		logf("t+%dms: %s %d edge(s)", ev.AtMs, ev.Action, len(edges))
+	}
+	return nil
+}
+
+// foldResult folds the collected flip reports through qos.FoldFlips —
+// the orchestrator alone knows the ground-truth kill instants — and
+// checks the bound_ms assertions.
+func foldResult(spec scenario.LiveSpec, cfg Config, states map[int]*nodeState, reports map[int]*NodeReport, failures []string, degree int, elapsed time.Duration) *Result {
+	res := &Result{
+		Name:             spec.Name,
+		N:                spec.N,
+		Topology:         spec.Topology.Kind,
+		IntervalMs:       spec.IntervalMs,
+		SamplePeriodMs:   spec.SamplePeriodMs,
+		Fanout:           spec.Fanout,
+		ElapsedMs:        elapsed.Milliseconds(),
+		Reports:          len(reports),
+		OverlayDegree:    degree,
+		MinQueryAccuracy: 1,
+		Failures:         failures,
+	}
+	for _, st := range states {
+		if !st.killed {
+			res.Expected++
+		}
+	}
+
+	period := time.Duration(spec.SamplePeriodMs) * time.Millisecond
+	bound := time.Duration(spec.BoundMs) * time.Millisecond
+	type killAgg struct {
+		observers, detected int
+		sum, max            time.Duration
+	}
+	killAggs := map[int]*killAgg{}
+	pauseAggs := map[int][]int{}
+
+	observers := make([]int, 0, len(reports))
+	for id := range reports {
+		observers = append(observers, id)
+	}
+	sort.Ints(observers)
+	for _, o := range observers {
+		rep := reports[o]
+		if rep.Destinations > res.MaxDistinctDestinations {
+			res.MaxDistinctDestinations = rep.Destinations
+		}
+		if spec.N <= model.MaxProcesses {
+			res.Views = append(res.Views, NodeView{Node: o, ViewID: rep.ViewID, Excluded: rep.Excluded})
+		}
+		start := time.Unix(0, rep.StartUnixNano)
+		end := time.Unix(0, rep.EndUnixNano)
+		for q := 1; q <= spec.N; q++ {
+			if q == o {
+				continue
+			}
+			st := states[q]
+			flips := rep.Flips[q]
+			var crashAt time.Time
+			if st.killed && st.killedAt.After(start) && st.killedAt.Before(end) {
+				crashAt = st.killedAt
+			}
+			m := qos.FoldFlips(start, end, crashAt, flips, period)
+			finalSuspected := len(flips) > 0 && flips[len(flips)-1].Suspected
+
+			if st.killed {
+				agg := killAggs[q]
+				if agg == nil {
+					agg = &killAgg{}
+					killAggs[q] = agg
+				}
+				agg.observers++
+				if m.Detected {
+					agg.detected++
+					agg.sum += m.DetectionTime
+					if m.DetectionTime > agg.max {
+						agg.max = m.DetectionTime
+					}
+				}
+				if spec.BoundMs > 0 && (!m.Detected || m.DetectionTime > bound) {
+					failures = append(failures, fmt.Sprintf(
+						"node %d did not suspect killed node %d within %v (detected=%v T_D=%v)",
+						o, q, bound, m.Detected, m.DetectionTime))
+				}
+			} else if st.pausedEver {
+				if finalSuspected {
+					pauseAggs[q] = append(pauseAggs[q], o)
+					if spec.BoundMs > 0 {
+						failures = append(failures, fmt.Sprintf(
+							"node %d still suspects resumed node %d at collection", o, q))
+					}
+				} else if pauseAggs[q] == nil {
+					pauseAggs[q] = []int{}
+				}
+			} else {
+				res.FalseSuspicionMistakes += m.Mistakes
+				if m.QueryAccuracy < res.MinQueryAccuracy {
+					res.MinQueryAccuracy = m.QueryAccuracy
+				}
+			}
+
+			if cfg.IncludePairs {
+				res.Pairs = append(res.Pairs, PairMetric{
+					Observer:           o,
+					Target:             q,
+					Detected:           m.Detected,
+					DetectionMs:        float64(m.DetectionTime) / float64(time.Millisecond),
+					Mistakes:           m.Mistakes,
+					MistakeRatePerSec:  m.MistakeRate,
+					AvgMistakeMs:       float64(m.AvgMistakeDuration) / float64(time.Millisecond),
+					QueryAccuracy:      m.QueryAccuracy,
+					SuspectedAtCollect: finalSuspected,
+				})
+			}
+		}
+	}
+
+	killIDs := make([]int, 0, len(killAggs))
+	for q := range killAggs {
+		killIDs = append(killIDs, q)
+	}
+	sort.Ints(killIDs)
+	for _, q := range killIDs {
+		agg := killAggs[q]
+		kr := KillReport{
+			Target:    q,
+			AtMs:      killAtMs(spec, q),
+			Observers: agg.observers,
+			Detected:  agg.detected,
+		}
+		if agg.detected > 0 {
+			kr.MeanDetectionMs = float64(agg.sum) / float64(agg.detected) / float64(time.Millisecond)
+			kr.MaxDetectionMs = float64(agg.max) / float64(time.Millisecond)
+		}
+		res.Kills = append(res.Kills, kr)
+	}
+	pauseIDs := make([]int, 0, len(pauseAggs))
+	for q := range pauseAggs {
+		pauseIDs = append(pauseIDs, q)
+	}
+	sort.Ints(pauseIDs)
+	for _, q := range pauseIDs {
+		res.Pauses = append(res.Pauses, PauseReport{Target: q, SuspectedAtEndBy: pauseAggs[q]})
+	}
+	if len(reports) == 0 {
+		res.MinQueryAccuracy = 0 // nothing observed, nothing vouched for
+	}
+	res.Failures = failures
+	return res
+}
+
+// killAtMs finds the scheduled kill time of node q.
+func killAtMs(spec scenario.LiveSpec, q int) int64 {
+	for _, ev := range spec.Schedule {
+		if ev.Action != scenario.LiveKill {
+			continue
+		}
+		for _, id := range ev.Nodes {
+			if id == q {
+				return ev.AtMs
+			}
+		}
+	}
+	return 0
+}
+
+// acceptLoop accepts node control connections and reads each one's
+// hello under a deadline.
+func acceptLoop(ln net.Listener, hellos chan<- helloMsg, timeout time.Duration) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed: assembly is over
+		}
+		go func(conn net.Conn) {
+			_ = conn.SetReadDeadline(time.Now().Add(timeout))
+			r := bufio.NewReader(conn)
+			var m ctlMsg
+			if err := transport.ReadJSON(r, &m); err != nil {
+				_ = conn.Close()
+				hellos <- helloMsg{err: err}
+				return
+			}
+			_ = conn.SetReadDeadline(time.Time{})
+			hellos <- helloMsg{conn: conn, r: r, msg: m}
+		}(conn)
+	}
+}
+
+// readLoop relays one node's post-hello control frames.
+func readLoop(id int, r *bufio.Reader, inbound chan<- inboundMsg) {
+	for {
+		var m ctlMsg
+		if err := transport.ReadJSON(r, &m); err != nil {
+			inbound <- inboundMsg{id: id, err: err}
+			return
+		}
+		inbound <- inboundMsg{id: id, msg: m}
+	}
+}
+
+// countConnected counts nodes whose hello arrived.
+func countConnected(states map[int]*nodeState) int {
+	n := 0
+	for _, st := range states {
+		if st.conn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// sleepCtx sleeps for d (no-op when non-positive) unless the context
+// expires first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

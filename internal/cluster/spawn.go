@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// NodeHandle is the orchestrator's grip on one spawned node: the
+// fault schedule speaks these verbs, whatever is underneath — an OS
+// process (signals) or a goroutine (muting).
+type NodeHandle interface {
+	// Kill terminates the node abruptly (SIGKILL): no cleanup, no
+	// goodbye, peers find out by silence.
+	Kill() error
+	// Pause freezes the node (SIGSTOP): it stops emitting, stops
+	// reading, and — crucially — stays "alive" for QoS accounting.
+	Pause() error
+	// Resume unfreezes a paused node (SIGCONT).
+	Resume() error
+	// Shutdown reclaims whatever is left at the end of the run,
+	// blocking until the node is gone.
+	Shutdown()
+}
+
+// Spawner launches nodes. ProcSpawner execs real OS processes;
+// InProcSpawner runs goroutines in this process.
+type Spawner interface {
+	Spawn(cfg NodeConfig) (NodeHandle, error)
+}
+
+// ProcSpawner launches each node as a real OS process running
+// Command (cmd/fdnode), handing it the NodeConfig as JSON on stdin.
+// Faults are delivered as signals, which is the point of the live
+// harness: SIGKILL is a real crash-stop, SIGSTOP a real freeze — no
+// cooperation from the victim required or possible.
+type ProcSpawner struct {
+	// Command is the argv of the node binary.
+	Command []string
+	// Env entries are appended to the inherited environment.
+	Env []string
+	// Stderr receives the nodes' stderr; nil discards it.
+	Stderr io.Writer
+}
+
+// Spawn implements Spawner.
+func (s *ProcSpawner) Spawn(cfg NodeConfig) (NodeHandle, error) {
+	if len(s.Command) == 0 {
+		return nil, errors.New("cluster: ProcSpawner needs a command")
+	}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: marshal node config: %w", err)
+	}
+	cmd := exec.Command(s.Command[0], s.Command[1:]...)
+	cmd.Stdin = bytes.NewReader(b)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = s.Stderr
+	if cmd.Stderr == nil {
+		cmd.Stderr = io.Discard
+	}
+	if len(s.Env) > 0 {
+		cmd.Env = append(os.Environ(), s.Env...)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("cluster: start node %d: %w", cfg.ID, err)
+	}
+	h := &procHandle{cmd: cmd, done: make(chan struct{})}
+	go func() {
+		_ = cmd.Wait() // reap; a SIGKILLed child must not linger as a zombie
+		close(h.done)
+	}()
+	return h, nil
+}
+
+// procHandle drives one OS process with signals.
+type procHandle struct {
+	cmd  *exec.Cmd
+	done chan struct{}
+}
+
+func (h *procHandle) signal(sig syscall.Signal) error {
+	select {
+	case <-h.done:
+		return nil // already exited; signalling a corpse is a no-op
+	default:
+	}
+	if err := h.cmd.Process.Signal(sig); err != nil && !errors.Is(err, os.ErrProcessDone) {
+		return err
+	}
+	return nil
+}
+
+// Kill implements NodeHandle.
+func (h *procHandle) Kill() error { return h.signal(syscall.SIGKILL) }
+
+// Pause implements NodeHandle.
+func (h *procHandle) Pause() error { return h.signal(syscall.SIGSTOP) }
+
+// Resume implements NodeHandle.
+func (h *procHandle) Resume() error { return h.signal(syscall.SIGCONT) }
+
+// Shutdown implements NodeHandle: SIGCONT (a stopped process should
+// not outlive the run), SIGKILL, and a bounded wait for the reaper.
+func (h *procHandle) Shutdown() {
+	_ = h.signal(syscall.SIGCONT)
+	_ = h.signal(syscall.SIGKILL)
+	select {
+	case <-h.done:
+	case <-time.After(5 * time.Second):
+	}
+}
+
+// InProcSpawner runs each node as a goroutine in this process: the
+// same runtime as cmd/fdnode, with channel-close for SIGKILL and
+// gossip muting for SIGSTOP/SIGCONT. This is what cmd/fdlive and the
+// -race smoke tests use — one address space, full data-race coverage.
+type InProcSpawner struct{}
+
+// Spawn implements Spawner.
+func (InProcSpawner) Spawn(cfg NodeConfig) (NodeHandle, error) {
+	h := &inprocHandle{kill: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		h.err = runNode(cfg, h)
+	}()
+	return h, nil
+}

@@ -1,0 +1,358 @@
+package heartbeat
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"realisticfd/internal/model"
+	"realisticfd/internal/transport"
+)
+
+// GossipEnvelopeType tags gossip heartbeat traffic on a shared
+// transport.
+const GossipEnvelopeType = "gossip"
+
+// GossipConfig configures one node's gossip disseminator.
+type GossipConfig struct {
+	// Self is this node's 1-based ID.
+	Self int
+	// N is the cluster size. Unlike the simulator's model.ProcessSet
+	// (capped at 64), gossip state is plain slices, so N can reach
+	// hundreds of nodes.
+	N int
+	// Peers are the overlay neighbors — the only nodes this node ever
+	// sends heartbeats to. With a chord/hypercube overlay this is
+	// O(log n) per node, which is the whole point: the exemplar's
+	// all-to-all heartbeating collapsed past ~50 nodes on O(n²) frames.
+	Peers []int
+	// Fanout bounds destinations per round: each round gossips to
+	// min(Fanout, len(Peers)) peers, chosen uniformly without
+	// replacement. Zero means all overlay neighbors every round.
+	Fanout int
+	// Interval is the gossip round period.
+	Interval time.Duration
+	// NewEstimator builds the per-peer arrival estimator. The gossip
+	// layer only changes *how arrivals are produced* (counter
+	// increases, possibly relayed); the estimator underneath is the
+	// same φ-accrual/Chen/fixed logic the QoS sweeps quantify.
+	NewEstimator func() Estimator
+	// Seed drives the per-round fanout sampling.
+	Seed int64
+}
+
+func (c GossipConfig) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("heartbeat: gossip n = %d must be ≥ 2", c.N)
+	}
+	if c.Self < 1 || c.Self > c.N {
+		return fmt.Errorf("heartbeat: gossip self = %d outside [1, %d]", c.Self, c.N)
+	}
+	if len(c.Peers) == 0 {
+		return fmt.Errorf("heartbeat: gossip needs at least one overlay peer")
+	}
+	for _, p := range c.Peers {
+		if p < 1 || p > c.N || p == c.Self {
+			return fmt.Errorf("heartbeat: gossip peer %d invalid for self %d, n %d", p, c.Self, c.N)
+		}
+	}
+	if c.Interval <= 0 {
+		return fmt.Errorf("heartbeat: gossip interval must be positive")
+	}
+	if c.NewEstimator == nil {
+		return fmt.Errorf("heartbeat: gossip needs an estimator factory")
+	}
+	return nil
+}
+
+// Gossiper replaces the all-to-all Emitter+Detector pair with
+// gossip-style dissemination: each round it increments its own
+// heartbeat counter and sends the freshest-known counter vector (plus
+// its suspicion verdicts) to a bounded set of overlay neighbors;
+// received vectors merge by maximum, and every observed counter
+// increase feeds the per-peer estimator as a heartbeat arrival. News
+// of any node reaches every other node in O(diameter) rounds while
+// each node sends only O(log n) frames per round.
+//
+// Suspicion piggybacking gives accusations a freshness horizon: an
+// accusation of q is remembered together with the counter value it
+// was made at, and stays live only while no fresher counter for q is
+// known — a paused-then-resumed node heals automatically the moment
+// its new heartbeats propagate.
+type Gossiper struct {
+	cfg     GossipConfig
+	tr      transport.Transport
+	forward chan transport.Envelope
+
+	mu        sync.Mutex
+	counters  []uint64    // freshest-known counter per node (index id-1)
+	accusedAt []uint64    // counter value the latest accusation was made at
+	accused   []bool      // whether any accusation was ever received
+	ests      []Estimator // per-peer estimators; nil at self
+	rng       *rand.Rand
+	scratch   []int // fanout sampling buffer
+	sentTo    map[int]bool
+	rounds    uint64
+	muted     bool
+
+	stop     chan struct{}
+	emitDone chan struct{}
+	recvDone chan struct{}
+	once     sync.Once
+}
+
+// NewGossiper starts gossiping immediately. The gossiper owns the
+// transport's receiving end; Close closes the transport.
+func NewGossiper(tr transport.Transport, cfg GossipConfig) (*Gossiper, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Gossiper{
+		cfg:       cfg,
+		tr:        tr,
+		forward:   make(chan transport.Envelope, 64),
+		counters:  make([]uint64, cfg.N),
+		accusedAt: make([]uint64, cfg.N),
+		accused:   make([]bool, cfg.N),
+		ests:      make([]Estimator, cfg.N),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		sentTo:    map[int]bool{},
+		stop:      make(chan struct{}),
+		emitDone:  make(chan struct{}),
+		recvDone:  make(chan struct{}),
+	}
+	epoch := time.Now()
+	for q := 1; q <= cfg.N; q++ {
+		if q == cfg.Self {
+			continue
+		}
+		est := cfg.NewEstimator()
+		if es, ok := est.(EpochSetter); ok {
+			es.SetEpoch(epoch)
+		}
+		g.ests[q-1] = est
+	}
+	go g.emitLoop()
+	go g.recvLoop()
+	return g, nil
+}
+
+// Forward yields the non-gossip envelopes received on the shared
+// transport (membership, application traffic). The channel closes when
+// the gossiper stops.
+func (g *Gossiper) Forward() <-chan transport.Envelope { return g.forward }
+
+func (g *Gossiper) emitLoop() {
+	defer close(g.emitDone)
+	ticker := time.NewTicker(g.cfg.Interval)
+	defer ticker.Stop()
+	g.round(time.Now()) // first round immediately, not one interval in
+	for {
+		select {
+		case <-ticker.C:
+			g.round(time.Now())
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+// round advances the local counter and gossips the state snapshot to
+// this round's destinations.
+func (g *Gossiper) round(now time.Time) {
+	g.mu.Lock()
+	if g.muted {
+		g.mu.Unlock()
+		return
+	}
+	g.rounds++
+	g.counters[g.cfg.Self-1]++
+	pb := Piggyback{
+		Origin:   g.cfg.Self,
+		Counters: append([]uint64(nil), g.counters...),
+		Suspects: g.verdictsLocked(now),
+	}
+	dests := g.pickDestsLocked()
+	for _, d := range dests {
+		g.sentTo[d] = true
+	}
+	g.mu.Unlock()
+
+	data, err := pb.Encode()
+	if err != nil {
+		return // impossible by construction; drop the round if not
+	}
+	for _, d := range dests {
+		env := transport.Envelope{To: model.ProcessID(d), Type: GossipEnvelopeType}
+		if err := env.Marshal(data); err != nil {
+			continue
+		}
+		_ = g.tr.Send(env) // losses are the network's business
+	}
+}
+
+// pickDestsLocked selects this round's gossip destinations.
+func (g *Gossiper) pickDestsLocked() []int {
+	peers := g.cfg.Peers
+	k := g.cfg.Fanout
+	if k <= 0 || k >= len(peers) {
+		return peers
+	}
+	if g.scratch == nil {
+		g.scratch = make([]int, len(peers))
+	}
+	copy(g.scratch, peers)
+	// Partial Fisher-Yates: first k entries are a uniform sample.
+	for i := 0; i < k; i++ {
+		j := i + g.rng.Intn(len(g.scratch)-i)
+		g.scratch[i], g.scratch[j] = g.scratch[j], g.scratch[i]
+	}
+	return g.scratch[:k]
+}
+
+func (g *Gossiper) recvLoop() {
+	defer close(g.recvDone)
+	defer close(g.forward)
+	for env := range g.tr.Recv() {
+		if env.Type != GossipEnvelopeType {
+			select {
+			case g.forward <- env:
+			default: // slow consumer: drop rather than stall detection
+			}
+			continue
+		}
+		var data []byte
+		if err := env.Unmarshal(&data); err != nil {
+			continue
+		}
+		pb, err := DecodePiggyback(data)
+		if err != nil || len(pb.Counters) != g.cfg.N {
+			continue
+		}
+		g.merge(pb, time.Now())
+	}
+}
+
+// merge folds one received piggyback into local state: counters merge
+// by maximum, each increase is a heartbeat arrival for that node's
+// estimator, and accusations are remembered at their freshness.
+func (g *Gossiper) merge(pb Piggyback, now time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.muted {
+		return // paused: a stopped process processes nothing
+	}
+	for i := range g.counters {
+		if pb.Counters[i] > g.counters[i] {
+			g.counters[i] = pb.Counters[i]
+			if est := g.ests[i]; est != nil {
+				est.Observe(now)
+			}
+		}
+		if pb.Suspects[i] && i+1 != g.cfg.Self && pb.Origin != i+1 {
+			if !g.accused[i] || pb.Counters[i] > g.accusedAt[i] {
+				g.accused[i] = true
+				g.accusedAt[i] = pb.Counters[i]
+			}
+		}
+	}
+}
+
+// verdictsLocked evaluates every local estimator at time now.
+func (g *Gossiper) verdictsLocked(now time.Time) []bool {
+	out := make([]bool, g.cfg.N)
+	for i, est := range g.ests {
+		if est != nil {
+			out[i] = est.Suspect(now)
+		}
+	}
+	return out
+}
+
+// Verdicts returns the local estimator verdict for every node
+// (index id-1; always false at self).
+func (g *Gossiper) Verdicts(now time.Time) []bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.verdictsLocked(now)
+}
+
+// Suspects returns the IDs this node currently suspects locally.
+func (g *Gossiper) Suspects() []int {
+	verdicts := g.Verdicts(time.Now())
+	var out []int
+	for i, s := range verdicts {
+		if s {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// CommunitySuspects returns the IDs suspected either locally or by a
+// live (non-expired) accusation gossiped from elsewhere: an accusation
+// of q holds exactly while no counter for q fresher than the
+// accusation is known.
+func (g *Gossiper) CommunitySuspects() []int {
+	now := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []int
+	for i := range g.counters {
+		if i+1 == g.cfg.Self {
+			continue
+		}
+		local := g.ests[i] != nil && g.ests[i].Suspect(now)
+		remote := g.accused[i] && g.accusedAt[i] >= g.counters[i]
+		if local || remote {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// Counter returns the freshest-known heartbeat counter for node q.
+func (g *Gossiper) Counter(q int) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if q < 1 || q > g.cfg.N {
+		return 0
+	}
+	return g.counters[q-1]
+}
+
+// DistinctDestinations returns how many distinct nodes this gossiper
+// has ever sent a heartbeat to — the fan-out bound the O(log n)
+// overlay is accountable to.
+func (g *Gossiper) DistinctDestinations() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.sentTo)
+}
+
+// Rounds returns the number of gossip rounds emitted.
+func (g *Gossiper) Rounds() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rounds
+}
+
+// SetMuted pauses or resumes the gossiper: while muted it emits
+// nothing and discards inbound gossip — the in-process emulation of
+// SIGSTOP for cluster runs that spawn goroutines instead of OS
+// processes.
+func (g *Gossiper) SetMuted(muted bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.muted = muted
+}
+
+// Close stops both loops (closing the underlying transport — the
+// gossiper owns the receiving end) and waits for them.
+func (g *Gossiper) Close() {
+	g.once.Do(func() { close(g.stop) })
+	<-g.emitDone
+	_ = g.tr.Close()
+	<-g.recvDone
+}

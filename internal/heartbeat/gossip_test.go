@@ -1,0 +1,287 @@
+package heartbeat
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"realisticfd/internal/model"
+	"realisticfd/internal/transport"
+)
+
+// sinkTransport records gossip destinations without any network.
+type sinkTransport struct {
+	self model.ProcessID
+	in   chan transport.Envelope
+
+	mu    sync.Mutex
+	dests map[model.ProcessID]int
+}
+
+func newSinkTransport(self model.ProcessID) *sinkTransport {
+	return &sinkTransport{self: self, in: make(chan transport.Envelope, 16), dests: map[model.ProcessID]int{}}
+}
+
+func (s *sinkTransport) Self() model.ProcessID { return s.self }
+func (s *sinkTransport) Send(env transport.Envelope) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dests[env.To]++
+	return nil
+}
+func (s *sinkTransport) Recv() <-chan transport.Envelope { return s.in }
+func (s *sinkTransport) Close() error                    { close(s.in); return nil }
+
+// chordPeers mirrors the scenario package's chord overlay: node self
+// links to self±2^j (mod n), giving O(log n) degree.
+func chordPeers(self, n int) []int {
+	set := map[int]bool{}
+	for step := 1; step < n; step *= 2 {
+		set[(self-1+step)%n+1] = true
+		set[((self-1-step)%n+n)%n+1] = true
+	}
+	delete(set, self)
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestGossipFanoutIsLogN is the acceptance check for the dissemination
+// redesign: over the whole run, a node's set of distinct heartbeat
+// destinations must stay O(log n) — not the O(n) of the all-to-all
+// emitter the exemplar choked on.
+func TestGossipFanoutIsLogN(t *testing.T) {
+	const n = 200
+	tr := newSinkTransport(1)
+	g, err := NewGossiper(tr, GossipConfig{
+		Self:         1,
+		N:            n,
+		Peers:        chordPeers(1, n),
+		Interval:     time.Hour, // rounds driven by hand below
+		NewEstimator: func() Estimator { return &FixedTimeout{Timeout: time.Second} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	now := time.Now()
+	for i := 0; i < 50; i++ {
+		g.round(now.Add(time.Duration(i) * time.Millisecond))
+	}
+	bound := 2 * int(math.Ceil(math.Log2(n)))
+	if got := g.DistinctDestinations(); got > bound {
+		t.Fatalf("distinct heartbeat destinations = %d over 50 rounds, want ≤ 2⌈log2 %d⌉ = %d", got, n, bound)
+	}
+	if got := g.DistinctDestinations(); got == 0 {
+		t.Fatal("gossiper never sent a heartbeat")
+	}
+}
+
+// TestGossipFanoutSubsetSampling pins the per-round fanout bound: with
+// Fanout k, each round touches exactly k distinct peers.
+func TestGossipFanoutSubsetSampling(t *testing.T) {
+	const n, k = 64, 3
+	tr := newSinkTransport(1)
+	g, err := NewGossiper(tr, GossipConfig{
+		Self:         1,
+		N:            n,
+		Peers:        chordPeers(1, n),
+		Fanout:       k,
+		Interval:     time.Hour,
+		Seed:         11,
+		NewEstimator: func() Estimator { return &FixedTimeout{Timeout: time.Second} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	before := int(g.Rounds()) // emitLoop's immediate first round may have fired
+	now := time.Now()
+	for i := 0; i < 30; i++ {
+		g.round(now)
+	}
+	rounds := int(g.Rounds())
+	tr.mu.Lock()
+	total := 0
+	for _, c := range tr.dests {
+		total += c
+	}
+	tr.mu.Unlock()
+	if want := rounds * k; total != want {
+		t.Fatalf("sent %d frames over %d rounds (%d pre-recorded), want exactly %d (fanout %d)",
+			total, rounds, before, want, k)
+	}
+	if got := g.DistinctDestinations(); got > len(chordPeers(1, n)) {
+		t.Fatalf("destinations %d exceed the overlay neighborhood %d", got, len(chordPeers(1, n)))
+	}
+}
+
+// TestGossipDisseminationAndHealing runs 16 real gossipers over the
+// in-process network: counters must propagate across the O(log n)
+// overlay to every node, a muted (SIGSTOP-emulated) node must become
+// suspected everywhere, and resuming it must clear the suspicion —
+// the no-node-wrongly-suspected-forever property the live smoke test
+// asserts on real processes.
+func TestGossipDisseminationAndHealing(t *testing.T) {
+	const n = 16
+	const interval = 10 * time.Millisecond
+	net, err := transport.NewChanNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gossipers := make([]*Gossiper, n+1)
+	for p := 1; p <= n; p++ {
+		g, err := NewGossiper(net.Node(model.ProcessID(p)), GossipConfig{
+			Self:         p,
+			N:            n,
+			Peers:        chordPeers(p, n),
+			Interval:     interval,
+			Seed:         int64(p),
+			NewEstimator: func() Estimator { return &FixedTimeout{Timeout: 12 * interval} },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gossipers[p] = g
+	}
+	defer func() {
+		// Closing any gossiper closes the shared ChanNetwork; mute the
+		// rest first so their emit loops stop cleanly, then close all.
+		for p := 1; p <= n; p++ {
+			gossipers[p].SetMuted(true)
+		}
+		for p := 1; p <= n; p++ {
+			gossipers[p].Close()
+		}
+	}()
+
+	waitFor := func(desc string, deadline time.Duration, cond func() bool) {
+		t.Helper()
+		limit := time.After(deadline)
+		for {
+			if cond() {
+				return
+			}
+			select {
+			case <-limit:
+				t.Fatalf("timed out waiting for %s", desc)
+			case <-time.After(interval):
+			}
+		}
+	}
+
+	// Dissemination: node 1's counter must reach the far side of the
+	// ring (node 9 is not a chord neighbor of 1 only for larger n, but
+	// every pair must converge regardless).
+	waitFor("all counters to propagate everywhere", 5*time.Second, func() bool {
+		for p := 1; p <= n; p++ {
+			for q := 1; q <= n; q++ {
+				if p != q && gossipers[p].Counter(q) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	})
+
+	// No false suspicion in the steady state.
+	for p := 1; p <= n; p++ {
+		if susp := gossipers[p].Suspects(); len(susp) != 0 {
+			t.Fatalf("node %d suspects %v with no faults injected", p, susp)
+		}
+	}
+
+	// Pause node 4: everyone must suspect it.
+	const victim = 4
+	gossipers[victim].SetMuted(true)
+	waitFor("every live node to suspect the paused node", 5*time.Second, func() bool {
+		for p := 1; p <= n; p++ {
+			if p == victim {
+				continue
+			}
+			if !gossipers[p].Verdicts(time.Now())[victim-1] {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Resume it: suspicion must heal everywhere — nobody wrongly
+	// suspects a paused-then-resumed node forever.
+	gossipers[victim].SetMuted(false)
+	waitFor("suspicion of the resumed node to heal", 5*time.Second, func() bool {
+		for p := 1; p <= n; p++ {
+			if p == victim {
+				continue
+			}
+			if gossipers[p].Verdicts(time.Now())[victim-1] {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestGossipAccusationExpiry drives merge directly: an accusation of q
+// made at counter c holds while no fresher counter for q is known and
+// expires the moment one propagates.
+func TestGossipAccusationExpiry(t *testing.T) {
+	const n = 8
+	tr := newSinkTransport(1)
+	g, err := NewGossiper(tr, GossipConfig{
+		Self:         1,
+		N:            n,
+		Peers:        []int{2, 3},
+		Interval:     time.Hour,
+		NewEstimator: func() Estimator { return &FixedTimeout{Timeout: time.Hour} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	mk := func(origin int, counters []uint64, suspects []bool) Piggyback {
+		return Piggyback{Origin: origin, Counters: counters, Suspects: suspects}
+	}
+	now := time.Now()
+
+	// Node 2 accuses node 5 at counter 7.
+	counters := make([]uint64, n)
+	suspects := make([]bool, n)
+	counters[4] = 7
+	suspects[4] = true
+	g.merge(mk(2, counters, suspects), now)
+	found := false
+	for _, q := range g.CommunitySuspects() {
+		if q == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fresh accusation of node 5 not reflected in community suspicion")
+	}
+
+	// Fresher news of node 5 (counter 8) expires the accusation.
+	counters2 := make([]uint64, n)
+	counters2[4] = 8
+	g.merge(mk(3, counters2, make([]bool, n)), now)
+	for _, q := range g.CommunitySuspects() {
+		if q == 5 {
+			t.Fatal("accusation of node 5 survived fresher counter news")
+		}
+	}
+
+	// Self-accusations and origin-self claims are ignored.
+	counters3 := make([]uint64, n)
+	suspects3 := make([]bool, n)
+	suspects3[0] = true // accusing node 1 (self)
+	g.merge(mk(2, counters3, suspects3), now)
+	for _, q := range g.CommunitySuspects() {
+		if q == 1 {
+			t.Fatal("gossiper accepted an accusation of itself")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package heartbeat
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Piggyback is one gossip heartbeat message: the sender's
+// freshest-known heartbeat counter for every node plus its current
+// suspicion verdicts, piggybacked so that one O(n)-sized frame per
+// round disseminates the whole cluster's liveness state transitively.
+//
+// Counters are the van Renesse-style gossip heartbeat vector: node p
+// increments Counters[p-1] once per round; receivers merge by maximum
+// and treat each observed increase as a heartbeat arrival for the
+// underlying estimator (φ-accrual, Chen, fixed — unchanged). Suspects
+// carries the sender's local verdicts; receivers record the counter
+// value each accusation was made at, so an accusation auto-expires the
+// moment fresher news of the accused propagates.
+type Piggyback struct {
+	// Origin is the sending node, 1-based.
+	Origin int
+	// Counters[i] is the freshest counter known for node i+1.
+	Counters []uint64
+	// Suspects[i] reports whether the sender currently suspects node
+	// i+1.
+	Suspects []bool
+}
+
+// piggybackVersion tags the wire format; bumping it invalidates old
+// frames explicitly instead of mis-decoding them.
+const piggybackVersion = 1
+
+// maxPiggybackNodes bounds the node count a frame may claim, keeping
+// adversarial frames from forcing large allocations.
+const maxPiggybackNodes = 1 << 16
+
+// Encode serializes the piggyback compactly: version byte, uvarint n,
+// uvarint origin, n uvarint counters, then an n-bit suspicion bitmap.
+// For a 200-node cluster this is a few hundred bytes against the ~50
+// KiB an all-to-all JSON snapshot would cost.
+func (pb Piggyback) Encode() ([]byte, error) {
+	n := len(pb.Counters)
+	if n == 0 || n > maxPiggybackNodes {
+		return nil, fmt.Errorf("heartbeat: piggyback n = %d outside [1, %d]", n, maxPiggybackNodes)
+	}
+	if len(pb.Suspects) != n {
+		return nil, fmt.Errorf("heartbeat: piggyback suspects length %d != n %d", len(pb.Suspects), n)
+	}
+	if pb.Origin < 1 || pb.Origin > n {
+		return nil, fmt.Errorf("heartbeat: piggyback origin %d outside [1, %d]", pb.Origin, n)
+	}
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+n*2+(n+7)/8)
+	buf = append(buf, piggybackVersion)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(pb.Origin))
+	for _, c := range pb.Counters {
+		buf = binary.AppendUvarint(buf, c)
+	}
+	bitmap := make([]byte, (n+7)/8)
+	for i, s := range pb.Suspects {
+		if s {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	return append(buf, bitmap...), nil
+}
+
+// DecodePiggyback parses one frame, rejecting truncated, oversized,
+// mis-versioned and trailing-garbage inputs.
+func DecodePiggyback(data []byte) (Piggyback, error) {
+	var pb Piggyback
+	if len(data) == 0 {
+		return pb, fmt.Errorf("heartbeat: empty piggyback")
+	}
+	if data[0] != piggybackVersion {
+		return pb, fmt.Errorf("heartbeat: piggyback version %d, want %d", data[0], piggybackVersion)
+	}
+	rest := data[1:]
+	readUvarint := func() (uint64, error) {
+		v, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return 0, fmt.Errorf("heartbeat: truncated piggyback varint")
+		}
+		rest = rest[k:]
+		return v, nil
+	}
+	n64, err := readUvarint()
+	if err != nil {
+		return pb, err
+	}
+	if n64 == 0 || n64 > maxPiggybackNodes {
+		return pb, fmt.Errorf("heartbeat: piggyback n = %d outside [1, %d]", n64, maxPiggybackNodes)
+	}
+	n := int(n64)
+	origin, err := readUvarint()
+	if err != nil {
+		return pb, err
+	}
+	if origin < 1 || origin > n64 {
+		return pb, fmt.Errorf("heartbeat: piggyback origin %d outside [1, %d]", origin, n)
+	}
+	pb.Origin = int(origin)
+	pb.Counters = make([]uint64, n)
+	for i := range pb.Counters {
+		c, err := readUvarint()
+		if err != nil {
+			return Piggyback{}, err
+		}
+		pb.Counters[i] = c
+	}
+	bitmapLen := (n + 7) / 8
+	if len(rest) != bitmapLen {
+		return Piggyback{}, fmt.Errorf("heartbeat: piggyback bitmap is %d bytes, want %d", len(rest), bitmapLen)
+	}
+	pb.Suspects = make([]bool, n)
+	for i := range pb.Suspects {
+		pb.Suspects[i] = rest[i/8]&(1<<(i%8)) != 0
+	}
+	return pb, nil
+}

@@ -1,0 +1,90 @@
+package membership
+
+import (
+	"fmt"
+	"sync"
+
+	"realisticfd/internal/model"
+)
+
+// Feed derives a monotone local view sequence from gossip suspicion
+// state: where the Manager runs the view-broadcast protocol over a
+// shared transport, the Feed consumes suspicion snapshots the gossip
+// layer has already disseminated (every node converges on the same
+// community suspicion, so the protocol's agreement round is implicit)
+// and turns them into the same shrink-only View vocabulary.
+//
+// The primary-partition quorum rule still applies: the feed freezes
+// rather than shrink the view below ⌈(n+1)/2⌉ members, so a node on
+// the minority side of a partition keeps its last safe view instead of
+// excluding the majority. Views only shrink; a healed suspicion
+// (paused-then-resumed node) arriving after exclusion does not
+// resurrect the member — exactly the §1.3 emulation: the exclusion
+// made the suspicion accurate after the fact.
+//
+// Bounded by model.ProcessSet to 64 processes: the live cluster
+// enables the feed only at sizes the simulator's set representation
+// covers, which keeps live small-cluster runs comparable with E-table
+// rows. Larger clusters run detection-only.
+type Feed struct {
+	mu      sync.Mutex
+	self    model.ProcessID
+	n       int
+	view    View
+	history []View
+}
+
+// NewFeed starts in view 0 with all n members.
+func NewFeed(self model.ProcessID, n int) (*Feed, error) {
+	if err := model.ValidateN(n); err != nil {
+		return nil, err
+	}
+	if self < 1 || int(self) > n {
+		return nil, fmt.Errorf("membership: feed self %v outside [1, %d]", self, n)
+	}
+	return &Feed{
+		self: self,
+		n:    n,
+		view: View{ID: 0, Issuer: 0, Members: model.AllProcesses(n)},
+	}, nil
+}
+
+// Update folds one suspicion snapshot into the view. It returns the
+// current view and whether a new one was installed. Self-suspicions
+// are ignored — a node does not excommunicate itself on rumor alone.
+func (f *Feed) Update(suspects model.ProcessSet) (View, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	toDrop := f.view.Members.Intersect(suspects).Remove(f.self)
+	if toDrop.IsEmpty() {
+		return f.view, false
+	}
+	survivors := f.view.Members.Diff(toDrop)
+	if survivors.Len() < f.n/2+1 {
+		return f.view, false // minority side: freeze, no split-brain
+	}
+	f.view = View{ID: f.view.ID + 1, Issuer: f.self, Members: survivors}
+	f.history = append(f.history, f.view)
+	return f.view, true
+}
+
+// View returns the current view.
+func (f *Feed) View() View {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.view
+}
+
+// Excluded returns the emulated output(P): everyone excluded so far.
+func (f *Feed) Excluded() model.ProcessSet {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return model.AllProcesses(f.n).Diff(f.view.Members)
+}
+
+// History returns the installed views in order (view 0 excluded).
+func (f *Feed) History() []View {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]View(nil), f.history...)
+}

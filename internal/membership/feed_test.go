@@ -1,0 +1,82 @@
+package membership
+
+import (
+	"testing"
+
+	"realisticfd/internal/model"
+)
+
+func TestFeedMonotoneShrink(t *testing.T) {
+	f, err := NewFeed(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.View(); got.ID != 0 || got.Members.Len() != 8 {
+		t.Fatalf("initial view %v", got)
+	}
+
+	v, changed := f.Update(model.NewProcessSet(3))
+	if !changed || v.ID != 1 || v.Members.Has(3) {
+		t.Fatalf("first exclusion: changed=%v view=%v", changed, v)
+	}
+	// Same suspicion again: no new view.
+	if _, changed := f.Update(model.NewProcessSet(3)); changed {
+		t.Fatal("re-reporting an excluded member issued a view")
+	}
+	// A healed suspicion does not resurrect: 3 stays out even when the
+	// snapshot no longer suspects it.
+	if _, changed := f.Update(model.NewProcessSet(5)); !changed {
+		t.Fatal("new suspicion did not issue a view")
+	}
+	v = f.View()
+	if v.ID != 2 || v.Members.Has(3) || v.Members.Has(5) {
+		t.Fatalf("after two exclusions: %v", v)
+	}
+	if got := f.Excluded(); !got.Has(3) || !got.Has(5) || got.Len() != 2 {
+		t.Fatalf("Excluded() = %v", got)
+	}
+	if h := f.History(); len(h) != 2 || h[0].ID != 1 || h[1].ID != 2 {
+		t.Fatalf("history %v", h)
+	}
+}
+
+func TestFeedQuorumFreeze(t *testing.T) {
+	f, err := NewFeed(1, 5) // quorum 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Suspecting 3 of 5 would leave 2 < 3: freeze.
+	if _, changed := f.Update(model.NewProcessSet(2, 3, 4)); changed {
+		t.Fatal("minority view was installed")
+	}
+	if got := f.View(); got.ID != 0 {
+		t.Fatalf("view advanced to %v on a frozen feed", got)
+	}
+	// Suspecting 2 of 5 leaves exactly the quorum: allowed.
+	if _, changed := f.Update(model.NewProcessSet(2, 3)); !changed {
+		t.Fatal("quorum-preserving exclusion was refused")
+	}
+}
+
+func TestFeedIgnoresSelfSuspicion(t *testing.T) {
+	f, err := NewFeed(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, changed := f.Update(model.NewProcessSet(2)); changed {
+		t.Fatal("feed excluded itself")
+	}
+	v, changed := f.Update(model.NewProcessSet(2, 4))
+	if !changed || !v.Members.Has(2) || v.Members.Has(4) {
+		t.Fatalf("self filtered incorrectly: %v", v)
+	}
+}
+
+func TestFeedValidation(t *testing.T) {
+	if _, err := NewFeed(1, model.MaxProcesses+1); err == nil {
+		t.Fatal("oversized n accepted")
+	}
+	if _, err := NewFeed(9, 8); err == nil {
+		t.Fatal("self outside the group accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package qos
+
+import "time"
+
+// Flip is one suspicion verdict change-point reported by a live
+// cluster node about one monitored peer: the node samples its
+// estimator every sample period but ships only the flips, exactly the
+// compression Timeline uses internally — a control-channel report for
+// a multi-minute run is a handful of entries per peer instead of
+// thousands of samples.
+type Flip struct {
+	// AtUnixNano is the wall-clock instant of the verdict change.
+	AtUnixNano int64 `json:"at"`
+	// Suspected is the verdict from this instant on.
+	Suspected bool `json:"s"`
+}
+
+// FoldFlips reconstructs the Timeline a live observer sampled and
+// returns its metrics: the observer recorded a verdict every period
+// over [start, end], shipped the change-points, and the ground-truth
+// crash instant (zero when the target never crashed) is known only
+// here — the orchestrator, not the observed cluster, knows when it
+// pulled the trigger. The reconstruction replays the periodic samples
+// against the flip list, so live runs produce the same
+// Chen-Toueg-Aguilera vocabulary (T_D, λ_M, T_M, P_A) as the
+// simulator's E-table rows, directly comparable cell for cell.
+func FoldFlips(start, end time.Time, crashAt time.Time, flips []Flip, period time.Duration) Metrics {
+	if period <= 0 || end.Before(start) {
+		return Metrics{}
+	}
+	tl := NewTimeline(start)
+	if !crashAt.IsZero() {
+		tl.Crash(crashAt)
+	}
+	verdict := false
+	idx := 0
+	record := func(q time.Time) {
+		for idx < len(flips) && !time.Unix(0, flips[idx].AtUnixNano).After(q) {
+			verdict = flips[idx].Suspected
+			idx++
+		}
+		tl.Record(q, verdict)
+	}
+	var lastQ time.Time
+	for q := start.Add(period); !q.After(end); q = q.Add(period) {
+		record(q)
+		lastQ = q
+	}
+	// Close the window with one final sample at exactly end when the
+	// period does not divide the window (the same tail rule as
+	// ArrivalModel.Replay).
+	if !lastQ.Equal(end) {
+		record(end)
+	}
+	return tl.Compute()
+}

@@ -1,0 +1,99 @@
+package qos
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestFoldFlipsMatchesDirectRecording holds the live-report path to
+// the reference: a node that records every sample directly into a
+// Timeline and a node that ships only the flips must yield identical
+// metrics, over randomized verdict streams and crash placements.
+func TestFoldFlipsMatchesDirectRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		start := time.Unix(1_700_000_000, 0)
+		period := time.Duration(1+rng.Intn(50)) * time.Millisecond
+		samples := 1 + rng.Intn(400)
+		end := start.Add(time.Duration(samples) * period)
+		// Occasionally stretch end past the sample grid to exercise
+		// the tail rule.
+		if rng.Intn(3) == 0 {
+			end = end.Add(time.Duration(rng.Intn(int(period))))
+		}
+
+		var crashAt time.Time
+		if rng.Intn(2) == 0 {
+			crashAt = start.Add(time.Duration(rng.Int63n(int64(end.Sub(start)))))
+		}
+
+		direct := NewTimeline(start)
+		if !crashAt.IsZero() {
+			direct.Crash(crashAt)
+		}
+		var flips []Flip
+		verdict := false
+		record := func(q time.Time) {
+			// Flip with some probability; crashed targets trend toward
+			// suspected to exercise detection streaks.
+			pFlip := 10
+			if !crashAt.IsZero() && q.After(crashAt) && !verdict {
+				pFlip = 40
+			}
+			if rng.Intn(100) < pFlip {
+				verdict = !verdict
+				flips = append(flips, Flip{AtUnixNano: q.UnixNano(), Suspected: verdict})
+			}
+			direct.Record(q, verdict)
+		}
+		var lastQ time.Time
+		for q := start.Add(period); !q.After(end); q = q.Add(period) {
+			record(q)
+			lastQ = q
+		}
+		if !lastQ.Equal(end) {
+			record(end)
+		}
+
+		want := direct.Compute()
+		got := FoldFlips(start, end, crashAt, flips, period)
+		if got != want {
+			t.Fatalf("trial %d (period %v, samples %d, crash %v):\nfold   %+v\ndirect %+v",
+				trial, period, samples, crashAt, got, want)
+		}
+	}
+}
+
+func TestFoldFlipsEdges(t *testing.T) {
+	start := time.Unix(0, 0)
+	end := start.Add(time.Second)
+	// Degenerate inputs yield empty metrics rather than panics.
+	if m := FoldFlips(start, end, time.Time{}, nil, 0); m.Samples != 0 {
+		t.Fatalf("zero period: %+v", m)
+	}
+	if m := FoldFlips(end, start, time.Time{}, nil, time.Millisecond); m.Samples != 0 {
+		t.Fatalf("inverted window: %+v", m)
+	}
+	// No flips at all: never suspected, full accuracy.
+	m := FoldFlips(start, end, time.Time{}, nil, 100*time.Millisecond)
+	if m.Samples == 0 || m.Mistakes != 0 || m.QueryAccuracy != 1 {
+		t.Fatalf("quiet window: %+v", m)
+	}
+	// One permanent suspicion after a crash: detected, T_D measured
+	// from the crash to the flip.
+	crash := start.Add(300 * time.Millisecond)
+	flip := start.Add(500 * time.Millisecond)
+	m = FoldFlips(start, end, crash, []Flip{{AtUnixNano: flip.UnixNano(), Suspected: true}}, 100*time.Millisecond)
+	if !m.Detected {
+		t.Fatalf("crash not detected: %+v", m)
+	}
+	if m.DetectionTime != 200*time.Millisecond {
+		t.Fatalf("T_D = %v, want 200ms", m.DetectionTime)
+	}
+	// A flip before the first sample still sets the initial verdict.
+	m = FoldFlips(start, end, time.Time{}, []Flip{{AtUnixNano: start.UnixNano(), Suspected: true}}, 250*time.Millisecond)
+	if m.Mistakes == 0 || m.QueryAccuracy != 0 {
+		t.Fatalf("pre-window flip ignored: %+v", m)
+	}
+}

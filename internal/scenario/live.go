@@ -1,0 +1,297 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Live actions accepted by a LiveSpec schedule.
+const (
+	LiveKill      = "kill"      // SIGKILL the node process
+	LivePause     = "pause"     // SIGSTOP the node process
+	LiveResume    = "resume"    // SIGCONT a paused node
+	LivePartition = "partition" // cut an edge set at the socket layer
+	LiveHeal      = "heal"      // undo cuts (all of them when no edges given)
+)
+
+// LiveEstimator kinds.
+const (
+	LiveEstFixed = "fixed"
+	LiveEstChen  = "chen"
+	LiveEstPhi   = "phi"
+)
+
+// LiveSpec is the declarative form of one live-cluster run: the same
+// topology generators as the simulator specs wire real OS processes
+// into a gossip overlay, and a scripted fault schedule — kill, pause,
+// resume, partition, heal — runs against wall-clock milliseconds
+// instead of simulator ticks. cmd/fdorch executes these.
+type LiveSpec struct {
+	// Name labels the run in reports.
+	Name string `json:"name"`
+	// N is the cluster size. Live clusters are not bound by the
+	// simulator's 64-process ProcessSet: hundreds of nodes are the
+	// point.
+	N int `json:"n"`
+	// Topology is the gossip overlay, reusing the simulator's
+	// generators; the zero value means chord (O(log n) degree).
+	Topology TopologySpec `json:"topology,omitzero"`
+	// IntervalMs is the gossip round period in milliseconds
+	// (default 50).
+	IntervalMs int `json:"interval_ms,omitempty"`
+	// SamplePeriodMs is how often each node samples its verdicts for
+	// the QoS timelines (default: the gossip interval).
+	SamplePeriodMs int `json:"sample_period_ms,omitempty"`
+	// Fanout bounds gossip destinations per round; 0 means every
+	// overlay neighbor every round.
+	Fanout int `json:"fanout,omitempty"`
+	// Estimator configures the per-peer suspicion estimator.
+	Estimator LiveEstimatorSpec `json:"estimator,omitzero"`
+	// WarmupMs delays the first scheduled event after the cluster
+	// starts, letting counters disseminate (default 1000).
+	WarmupMs int `json:"warmup_ms,omitempty"`
+	// SettleMs is the observation tail after the last scheduled event
+	// before metrics are collected (default 2000).
+	SettleMs int `json:"settle_ms,omitempty"`
+	// BoundMs, when positive, turns the run into an assertion: every
+	// surviving node must suspect every killed node within BoundMs of
+	// the kill, and no resumed node may stay suspected at collection.
+	BoundMs int `json:"bound_ms,omitempty"`
+	// Schedule is the scripted fault sequence, in wall-clock
+	// milliseconds from the end of warmup.
+	Schedule []LiveEventSpec `json:"schedule"`
+}
+
+// LiveEstimatorSpec selects and parameterizes the heartbeat estimator
+// of a live run. Kinds: "fixed" (TimeoutMs), "chen" (Window, AlphaMs),
+// "phi" (Window, Phi, MinStdDevMs). The zero value means φ-accrual
+// with the package defaults.
+type LiveEstimatorSpec struct {
+	Kind        string  `json:"kind,omitempty"`
+	TimeoutMs   int     `json:"timeout_ms,omitempty"`
+	Window      int     `json:"window,omitempty"`
+	AlphaMs     int     `json:"alpha_ms,omitempty"`
+	Phi         float64 `json:"phi,omitempty"`
+	MinStdDevMs int     `json:"min_stddev_ms,omitempty"`
+}
+
+// LiveEventSpec is one scripted fault. Kill/pause/resume name Nodes;
+// partition gives exactly one of Side (a node-set boundary — every
+// overlay edge crossing it is cut) and Cut (explicit edges, validated
+// against the generated overlay); heal reverses cuts — the named ones,
+// or all active cuts when none are given.
+type LiveEventSpec struct {
+	// AtMs schedules the event, milliseconds after warmup.
+	AtMs int64 `json:"at_ms"`
+	// Action is one of kill, pause, resume, partition, heal.
+	Action string `json:"action"`
+	// Nodes are the targets of kill/pause/resume.
+	Nodes []int `json:"nodes,omitempty"`
+	// Side is the partition boundary node set.
+	Side []int `json:"side,omitempty"`
+	// Cut is the explicit partition edge list.
+	Cut [][2]int `json:"cut,omitempty"`
+}
+
+// Normalize spells out the defaults. ParseLive calls it; specs built
+// in code (cmd/fdorch's default schedule) call it before Validate.
+func (s *LiveSpec) Normalize() {
+	if s.Topology.Kind == "" {
+		s.Topology.Kind = TopologyChord
+	}
+	if s.IntervalMs == 0 {
+		s.IntervalMs = 50
+	}
+	if s.SamplePeriodMs == 0 {
+		s.SamplePeriodMs = s.IntervalMs
+	}
+	if s.Estimator.Kind == "" {
+		s.Estimator.Kind = LiveEstPhi
+	}
+	if s.WarmupMs == 0 {
+		s.WarmupMs = 1000
+	}
+	if s.SettleMs == 0 {
+		s.SettleMs = 2000
+	}
+}
+
+// Validate checks every cross-field constraint of a live spec.
+func (s LiveSpec) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("live scenario %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		return fmt.Errorf("live scenario: name is required")
+	}
+	if s.N < 2 {
+		return fail("n = %d must be ≥ 2", s.N)
+	}
+	if s.IntervalMs < 0 || s.SamplePeriodMs < 0 || s.WarmupMs < 0 || s.SettleMs < 0 || s.BoundMs < 0 {
+		return fail("durations must be non-negative")
+	}
+	if s.Fanout < 0 {
+		return fail("fanout = %d must be non-negative", s.Fanout)
+	}
+	switch s.Estimator.Kind {
+	case LiveEstFixed:
+		if s.Estimator.TimeoutMs < 1 {
+			return fail("estimator fixed: timeout_ms = %d must be ≥ 1", s.Estimator.TimeoutMs)
+		}
+	case LiveEstChen, LiveEstPhi, "":
+	default:
+		return fail("estimator: unknown kind %q", s.Estimator.Kind)
+	}
+	if s.Estimator.Window < 0 || s.Estimator.TimeoutMs < 0 || s.Estimator.AlphaMs < 0 ||
+		s.Estimator.Phi < 0 || s.Estimator.MinStdDevMs < 0 {
+		return fail("estimator parameters must be non-negative")
+	}
+
+	edges, err := s.Topology.edgeSet(s.N)
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	paused := map[int]bool{}
+	dead := map[int]bool{}
+	// Events may be listed in any order in the file; semantic checks
+	// (resume-before-pause, double kill) follow schedule time.
+	ordered := append([]LiveEventSpec(nil), s.Schedule...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].AtMs < ordered[j].AtMs })
+	for i, ev := range ordered {
+		if ev.AtMs < 0 {
+			return fail("schedule[%d]: at_ms = %d must be non-negative", i, ev.AtMs)
+		}
+		switch ev.Action {
+		case LiveKill, LivePause, LiveResume:
+			if len(ev.Nodes) == 0 {
+				return fail("schedule[%d]: %s needs nodes", i, ev.Action)
+			}
+			if len(ev.Side) > 0 || len(ev.Cut) > 0 {
+				return fail("schedule[%d]: %s takes nodes, not side/cut", i, ev.Action)
+			}
+			for _, id := range ev.Nodes {
+				if id < 1 || id > s.N {
+					return fail("schedule[%d]: node %d outside [1, %d]", i, id, s.N)
+				}
+				switch ev.Action {
+				case LiveKill:
+					if dead[id] {
+						return fail("schedule[%d]: node %d killed twice", i, id)
+					}
+					dead[id] = true
+				case LivePause:
+					if dead[id] {
+						return fail("schedule[%d]: node %d paused after kill", i, id)
+					}
+					paused[id] = true
+				case LiveResume:
+					if !paused[id] {
+						return fail("schedule[%d]: node %d resumed without a pause", i, id)
+					}
+					delete(paused, id)
+				}
+			}
+		case LivePartition:
+			if (len(ev.Side) > 0) == (len(ev.Cut) > 0) {
+				return fail("schedule[%d]: partition needs exactly one of side and cut", i)
+			}
+			for _, id := range ev.Side {
+				if id < 1 || id > s.N {
+					return fail("schedule[%d]: side node %d outside [1, %d]", i, id, s.N)
+				}
+			}
+			for _, e := range ev.Cut {
+				a, b := e[0], e[1]
+				if a < 1 || a > s.N || b < 1 || b > s.N || a == b {
+					return fail("schedule[%d]: bad edge [%d, %d]", i, a, b)
+				}
+				if !edges[canonEdge(a, b)] {
+					return fail("schedule[%d]: edge [%d, %d] does not exist in the %s overlay", i, a, b, s.Topology.Kind)
+				}
+			}
+		case LiveHeal:
+			for _, e := range ev.Cut {
+				a, b := e[0], e[1]
+				if a < 1 || a > s.N || b < 1 || b > s.N || a == b {
+					return fail("schedule[%d]: bad edge [%d, %d]", i, a, b)
+				}
+			}
+			if len(ev.Nodes) > 0 {
+				return fail("schedule[%d]: heal takes side/cut (or nothing), not nodes", i)
+			}
+		case "":
+			return fail("schedule[%d]: action is required", i)
+		default:
+			return fail("schedule[%d]: unknown action %q", i, ev.Action)
+		}
+	}
+	if len(paused) > 0 && s.BoundMs > 0 {
+		return fail("bound_ms asserts resumed nodes heal, but %d node(s) stay paused at collection", len(paused))
+	}
+	return nil
+}
+
+// ResolveEdges compiles one partition/heal event's edge selection
+// against the generated overlay: a Side boundary becomes its crossing
+// edges, an explicit Cut passes through, and a bare heal selects nil
+// (meaning "all active cuts" to the orchestrator).
+func (s LiveSpec) ResolveEdges(ev LiveEventSpec) ([][2]int, error) {
+	if len(ev.Cut) > 0 {
+		return ev.Cut, nil
+	}
+	if len(ev.Side) == 0 {
+		return nil, nil
+	}
+	inSide := map[int]bool{}
+	for _, id := range ev.Side {
+		inSide[id] = true
+	}
+	all, err := s.Topology.Edges(s.N)
+	if err != nil {
+		return nil, err
+	}
+	var out [][2]int
+	for _, e := range all {
+		a, b := int(e.A), int(e.B)
+		if inSide[a] != inSide[b] {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out, nil
+}
+
+// ParseLive decodes one live spec strictly (unknown fields rejected),
+// normalizes defaults and validates.
+func ParseLive(data []byte) (LiveSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s LiveSpec
+	if err := dec.Decode(&s); err != nil {
+		return LiveSpec{}, fmt.Errorf("live scenario: parse: %w", err)
+	}
+	if dec.More() {
+		return LiveSpec{}, fmt.Errorf("live scenario: parse: trailing data after the spec document")
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return LiveSpec{}, err
+	}
+	return s, nil
+}
+
+// LoadLive reads and parses one live spec file.
+func LoadLive(path string) (LiveSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return LiveSpec{}, fmt.Errorf("live scenario: %w", err)
+	}
+	s, err := ParseLive(data)
+	if err != nil {
+		return LiveSpec{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validLiveJSON() string {
+	return `{
+		"name": "smoke",
+		"n": 16,
+		"estimator": {"kind": "phi", "phi": 8},
+		"schedule": [
+			{"at_ms": 0, "action": "kill", "nodes": [3, 7]},
+			{"at_ms": 100, "action": "pause", "nodes": [5]},
+			{"at_ms": 400, "action": "partition", "side": [1, 2]},
+			{"at_ms": 900, "action": "resume", "nodes": [5]},
+			{"at_ms": 1200, "action": "heal"}
+		]
+	}`
+}
+
+func TestLiveSpecParseAndDefaults(t *testing.T) {
+	s, err := ParseLive([]byte(validLiveJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Topology.Kind != TopologyChord {
+		t.Fatalf("default topology = %q, want chord", s.Topology.Kind)
+	}
+	if s.IntervalMs != 50 || s.SamplePeriodMs != 50 {
+		t.Fatalf("default cadence = %d/%d, want 50/50", s.IntervalMs, s.SamplePeriodMs)
+	}
+	if s.WarmupMs != 1000 || s.SettleMs != 2000 {
+		t.Fatalf("default warmup/settle = %d/%d, want 1000/2000", s.WarmupMs, s.SettleMs)
+	}
+}
+
+func TestLiveSpecRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(s *LiveSpec)
+		want string
+	}{
+		{"tiny n", func(s *LiveSpec) { s.N = 1 }, "must be ≥ 2"},
+		{"unknown action", func(s *LiveSpec) { s.Schedule[0].Action = "reboot" }, "unknown action"},
+		{"kill without nodes", func(s *LiveSpec) { s.Schedule[0].Nodes = nil }, "needs nodes"},
+		{"node out of range", func(s *LiveSpec) { s.Schedule[0].Nodes = []int{99} }, "outside"},
+		{"double kill", func(s *LiveSpec) {
+			s.Schedule = append(s.Schedule, LiveEventSpec{AtMs: 50, Action: LiveKill, Nodes: []int{3}})
+		}, "killed twice"},
+		{"resume without pause", func(s *LiveSpec) {
+			s.Schedule = []LiveEventSpec{{AtMs: 0, Action: LiveResume, Nodes: []int{5}}}
+		}, "without a pause"},
+		{"pause after kill", func(s *LiveSpec) {
+			s.Schedule = []LiveEventSpec{
+				{AtMs: 0, Action: LiveKill, Nodes: []int{5}},
+				{AtMs: 10, Action: LivePause, Nodes: []int{5}},
+			}
+		}, "paused after kill"},
+		{"partition needs one selector", func(s *LiveSpec) {
+			s.Schedule[2].Cut = [][2]int{{1, 2}}
+		}, "exactly one of side and cut"},
+		{"cut edge not in overlay", func(s *LiveSpec) {
+			// chord(16) links 1 to 2,3,5,9 (±2^j); 1—7 is not an edge.
+			s.Schedule[2].Side = nil
+			s.Schedule[2].Cut = [][2]int{{1, 7}}
+		}, "does not exist"},
+		{"bound with stuck pause", func(s *LiveSpec) {
+			s.BoundMs = 1000
+			s.Schedule = []LiveEventSpec{{AtMs: 0, Action: LivePause, Nodes: []int{5}}}
+		}, "stay paused"},
+		{"negative at", func(s *LiveSpec) { s.Schedule[0].AtMs = -1 }, "non-negative"},
+		{"fixed without timeout", func(s *LiveSpec) {
+			s.Estimator = LiveEstimatorSpec{Kind: LiveEstFixed}
+		}, "timeout_ms"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseLive([]byte(validLiveJSON()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.edit(&s)
+			err = s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLiveSpecStrictParsing(t *testing.T) {
+	if _, err := ParseLive([]byte(`{"name": "x", "n": 4, "schedule": [], "bogus": 1}`)); err == nil {
+		t.Fatal("unknown field was not rejected")
+	}
+	if _, err := ParseLive([]byte(`{"name": "x", "n": 4, "schedule": []} {}`)); err == nil {
+		t.Fatal("trailing document was not rejected")
+	}
+}
+
+// TestChordTopologyDegree pins the O(log n) property the live cluster
+// stakes its scalability on: every node's chord degree is at most
+// 2⌈log2 n⌉, at every size from the smoke cluster to well past the
+// 200-node acceptance run.
+func TestChordTopologyDegree(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 16, 50, 200, 333} {
+		edges, err := TopologySpec{Kind: TopologyChord}.Edges(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg := make([]int, n+1)
+		for _, e := range edges {
+			deg[e.A]++
+			deg[e.B]++
+		}
+		bound := 2 * int(math.Ceil(math.Log2(float64(n))))
+		if n == 2 {
+			bound = 1
+		}
+		for p := 1; p <= n; p++ {
+			if deg[p] == 0 {
+				t.Fatalf("n=%d: node %d is isolated", n, p)
+			}
+			if deg[p] > bound {
+				t.Fatalf("n=%d: node %d has degree %d, want ≤ %d", n, p, deg[p], bound)
+			}
+		}
+	}
+}
+
+// TestChordTopologyConnected: the overlay must be connected, or gossip
+// cannot disseminate.
+func TestChordTopologyConnected(t *testing.T) {
+	for _, n := range []int{2, 5, 16, 200} {
+		edges, err := TopologySpec{Kind: TopologyChord}.Edges(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adj := make(map[int][]int)
+		for _, e := range edges {
+			adj[int(e.A)] = append(adj[int(e.A)], int(e.B))
+			adj[int(e.B)] = append(adj[int(e.B)], int(e.A))
+		}
+		seen := map[int]bool{1: true}
+		queue := []int{1}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("n=%d: chord overlay reaches %d of %d nodes", n, len(seen), n)
+		}
+	}
+}
+
+func TestResolveEdges(t *testing.T) {
+	s, err := ParseLive([]byte(validLiveJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Side {1, 2}: every chord edge crossing the boundary.
+	edges, err := s.ResolveEdges(s.Schedule[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) == 0 {
+		t.Fatal("side boundary resolved to no edges")
+	}
+	inSide := map[int]bool{1: true, 2: true}
+	for _, e := range edges {
+		if inSide[e[0]] == inSide[e[1]] {
+			t.Fatalf("edge %v does not cross the boundary", e)
+		}
+	}
+	// Explicit cut passes through untouched.
+	ev := LiveEventSpec{Action: LivePartition, Cut: [][2]int{{1, 2}}}
+	got, err := s.ResolveEdges(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != [2]int{1, 2} {
+		t.Fatalf("explicit cut resolved to %v", got)
+	}
+	// Bare heal selects nil — all active cuts.
+	got, err = s.ResolveEdges(LiveEventSpec{Action: LiveHeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("bare heal resolved to %v, want nil", got)
+	}
+}

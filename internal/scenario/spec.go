@@ -122,6 +122,8 @@ type OracleSpec struct {
 //   - "tree": rooted at p_1 with arity Degree (default 2)
 //   - "random": a seeded random connected graph — a random spanning
 //     tree plus each remaining pair independently with EdgeProb%
+//   - "chord": p_i — p_{i±2^j mod n} for every power of two below n,
+//     the O(log n)-degree gossip overlay of the live cluster
 //
 // A non-complete topology is embedded as a permanent sim.EdgeCut of
 // every non-edge, so traffic between unlinked processes never flows;

@@ -79,6 +79,21 @@ func (t TopologySpec) edgeSet(n int) (map[edgeKey]bool, error) {
 			parent := (i-2)/deg + 1
 			set[canonEdge(parent, i)] = true
 		}
+	case TopologyChord:
+		// The gossip overlay of the live cluster: node i links to
+		// i ± 2^j (mod n) for every power of two below n, giving
+		// O(log n) degree with O(log n) diameter — each node
+		// heartbeats a logarithmic neighborhood, yet news crosses the
+		// whole ring in logarithmically many hops (Dobre et al.'s
+		// argument for gossip over all-to-all dissemination).
+		for i := 1; i <= n; i++ {
+			for step := 1; step < n; step *= 2 {
+				j := (i-1+step)%n + 1
+				if i != j {
+					set[canonEdge(i, j)] = true
+				}
+			}
+		}
 	case TopologyRandom:
 		if t.EdgeProb < 0 || t.EdgeProb > 100 {
 			return nil, fmt.Errorf("topology random: edge_prob = %d%% outside [0, 100]", t.EdgeProb)

@@ -28,6 +28,7 @@ const (
 	TopologyRing     = "ring"
 	TopologyTree     = "tree"
 	TopologyRandom   = "random"
+	TopologyChord    = "chord"
 
 	PolicyRandomFair = "random-fair"
 	PolicyFair       = "fair"

@@ -15,19 +15,37 @@ import (
 // TCPNode is a Transport over real TCP sockets on localhost: each node
 // listens on its own port and dials peers on demand; frames are
 // length-prefixed JSON envelopes. This is the "heartbeats over
-// sockets" substrate of experiment E9 and the livecluster example.
+// sockets" substrate of experiment E9 and the live cluster
+// (internal/cluster).
+//
+// Writes to one peer are serialized through a per-peer link lock, so
+// concurrent senders (heartbeat emitter, membership, control traffic)
+// cannot interleave frame bytes on a shared connection. Every open
+// connection is also registered in a flat set guarded by the node
+// lock, so Close can sever a connection whose writer is wedged on a
+// full socket buffer (a SIGSTOPped peer) without waiting for the
+// writer — the close fails the write, the writer unwinds, nothing
+// hangs.
 type TCPNode struct {
 	self model.ProcessID
 	ln   net.Listener
 	in   chan Envelope
 
-	mu       sync.Mutex
-	peers    map[model.ProcessID]string
-	conns    map[model.ProcessID]net.Conn
-	accepted map[net.Conn]bool
-	closed   bool
+	mu     sync.Mutex
+	peers  map[model.ProcessID]string
+	links  map[model.ProcessID]*peerLink
+	open   map[net.Conn]bool // every live conn, dialed or accepted
+	cut    map[model.ProcessID]bool
+	closed bool
 
 	wg sync.WaitGroup
+}
+
+// peerLink serializes writes to one peer. conn is nil until dialed and
+// is accessed only with mu held.
+type peerLink struct {
+	mu   sync.Mutex
+	conn net.Conn
 }
 
 var _ Transport = (*TCPNode)(nil)
@@ -43,12 +61,13 @@ func NewTCPNode(self model.ProcessID) (*TCPNode, error) {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	n := &TCPNode{
-		self:     self,
-		ln:       ln,
-		in:       make(chan Envelope, 256),
-		peers:    map[model.ProcessID]string{},
-		conns:    map[model.ProcessID]net.Conn{},
-		accepted: map[net.Conn]bool{},
+		self:  self,
+		ln:    ln,
+		in:    make(chan Envelope, 256),
+		peers: map[model.ProcessID]string{},
+		links: map[model.ProcessID]*peerLink{},
+		open:  map[net.Conn]bool{},
+		cut:   map[model.ProcessID]bool{},
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -63,6 +82,33 @@ func (n *TCPNode) SetPeer(p model.ProcessID, addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.peers[p] = addr
+}
+
+// SetCut installs (or removes) a partition against peer p: while cut,
+// outbound envelopes to p are silently dropped and inbound frames from
+// p are discarded on arrival. This emulates a network partition at the
+// socket layer, no iptables required — both endpoints of a cut edge
+// are told to drop, so a one-sided liar still loses its half of the
+// conversation.
+func (n *TCPNode) SetCut(p model.ProcessID, cut bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cut {
+		n.cut[p] = true
+	} else {
+		delete(n.cut, p)
+	}
+}
+
+// Cuts returns the currently cut peers.
+func (n *TCPNode) Cuts() []model.ProcessID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]model.ProcessID, 0, len(n.cut))
+	for p := range n.cut {
+		out = append(out, p)
+	}
+	return out
 }
 
 // Self implements Transport.
@@ -82,28 +128,44 @@ func (n *TCPNode) Send(env Envelope) error {
 		n.mu.Unlock()
 		return ErrClosed
 	}
-	conn, ok := n.conns[env.To]
+	if n.cut[env.To] {
+		n.mu.Unlock()
+		return nil // partitioned: silent loss
+	}
+	link, ok := n.links[env.To]
 	if !ok {
-		addr, known := n.peers[env.To]
-		if !known {
+		if _, known := n.peers[env.To]; !known {
 			n.mu.Unlock()
 			return fmt.Errorf("transport: peer %v not registered", env.To)
 		}
-		var err error
-		conn, err = net.Dial("tcp", addr)
-		if err != nil {
-			n.mu.Unlock()
-			return nil // unreachable peer ≈ lost message
-		}
-		n.conns[env.To] = conn
+		link = &peerLink{}
+		n.links[env.To] = link
 	}
+	addr := n.peers[env.To]
 	n.mu.Unlock()
 
-	if err := writeFrame(conn, env); err != nil {
-		n.mu.Lock()
-		if n.conns[env.To] == conn {
-			delete(n.conns, env.To)
+	link.mu.Lock()
+	defer link.mu.Unlock()
+	if link.conn == nil {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil // unreachable peer ≈ lost message
 		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return ErrClosed
+		}
+		n.open[conn] = true
+		n.mu.Unlock()
+		link.conn = conn
+	}
+	if err := writeFrame(link.conn, env); err != nil {
+		conn := link.conn
+		link.conn = nil
+		n.mu.Lock()
+		delete(n.open, conn)
 		n.mu.Unlock()
 		_ = conn.Close()
 		return nil // broken pipe ≈ lost message
@@ -111,7 +173,11 @@ func (n *TCPNode) Send(env Envelope) error {
 	return nil
 }
 
-// Close implements Transport.
+// Close implements Transport: it severs every open connection (which
+// fails any in-flight writer or reader), stops the accept loop, waits
+// for the reader goroutines, and closes the receive channel. It never
+// waits for a blocked writer — closing the connection is what unblocks
+// it.
 func (n *TCPNode) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -119,15 +185,11 @@ func (n *TCPNode) Close() error {
 		return nil
 	}
 	n.closed = true
-	conns := make([]net.Conn, 0, len(n.conns)+len(n.accepted))
-	for _, c := range n.conns {
+	conns := make([]net.Conn, 0, len(n.open))
+	for c := range n.open {
 		conns = append(conns, c)
 	}
-	for c := range n.accepted {
-		conns = append(conns, c)
-	}
-	n.conns = map[model.ProcessID]net.Conn{}
-	n.accepted = map[net.Conn]bool{}
+	n.open = map[net.Conn]bool{}
 	n.mu.Unlock()
 
 	_ = n.ln.Close()
@@ -154,7 +216,7 @@ func (n *TCPNode) acceptLoop() {
 			_ = conn.Close()
 			return
 		}
-		n.accepted[conn] = true
+		n.open[conn] = true
 		n.mu.Unlock()
 		n.wg.Add(1)
 		go n.readLoop(conn)
@@ -162,13 +224,13 @@ func (n *TCPNode) acceptLoop() {
 }
 
 // readLoop decodes frames from one inbound connection into the recv
-// channel.
+// channel, discarding frames from cut peers.
 func (n *TCPNode) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer func() {
 		_ = conn.Close()
 		n.mu.Lock()
-		delete(n.accepted, conn)
+		delete(n.open, conn)
 		n.mu.Unlock()
 	}()
 	r := bufio.NewReader(conn)
@@ -178,10 +240,13 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 			return
 		}
 		n.mu.Lock()
-		closed := n.closed
+		closed, dropped := n.closed, n.cut[env.From]
 		n.mu.Unlock()
 		if closed {
 			return
+		}
+		if dropped {
+			continue // inbound half of a partition
 		}
 		select {
 		case n.in <- env:
@@ -191,11 +256,17 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 	}
 }
 
-// writeFrame emits a length-prefixed JSON envelope.
-func writeFrame(w io.Writer, env Envelope) error {
-	b, err := json.Marshal(env)
+// WriteJSON frames an arbitrary JSON-marshalable value with the same
+// length-prefixed format as envelopes: 4-byte big-endian length, then
+// the JSON bytes. The cluster control channel shares this codec with
+// the data plane.
+func WriteJSON(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
 	if err != nil {
-		return err
+		return fmt.Errorf("transport: marshal frame: %w", err)
+	}
+	if len(b) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(b))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
@@ -206,23 +277,37 @@ func writeFrame(w io.Writer, env Envelope) error {
 	return err
 }
 
-// readFrame reads one length-prefixed JSON envelope.
-func readFrame(r io.Reader) (Envelope, error) {
+// ReadJSON reads one length-prefixed JSON frame into v, rejecting
+// frames over the 1 MiB limit before allocating.
+func ReadJSON(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Envelope{}, err
+		return err
 	}
 	size := binary.BigEndian.Uint32(hdr[:])
 	if size > maxFrame {
-		return Envelope{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
 	}
 	buf := make([]byte, size)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return Envelope{}, err
+		return err
 	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("transport: bad frame: %w", err)
+	}
+	return nil
+}
+
+// writeFrame emits a length-prefixed JSON envelope.
+func writeFrame(w io.Writer, env Envelope) error {
+	return WriteJSON(w, env)
+}
+
+// readFrame reads one length-prefixed JSON envelope.
+func readFrame(r io.Reader) (Envelope, error) {
 	var env Envelope
-	if err := json.Unmarshal(buf, &env); err != nil {
-		return Envelope{}, fmt.Errorf("transport: bad frame: %w", err)
+	if err := ReadJSON(r, &env); err != nil {
+		return Envelope{}, err
 	}
 	return env, nil
 }
