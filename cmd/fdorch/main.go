@@ -6,18 +6,29 @@
 // suspicion timeline and folds it into the same QoS vocabulary as the
 // simulator (T_D, λ_M, T_M, P_A), emitted as JSON.
 //
-// The schedule comes from a live-spec file (-plan, see
-// examples/live/) or, without one, a built-in kill+pause+partition+
-// heal sequence scaled to -n. With -bound the run becomes an
-// assertion and the exit status a verdict: every survivor must
-// suspect every killed node within the bound, and no resumed node may
-// stay suspected at collection.
+// The faults come from a -plan file in either format — a legacy live
+// spec (examples/live/) or a /v3 scenario whose fault plan also runs
+// under cmd/scenario's sim lowering (examples/scenarios/) — or,
+// without one, a built-in kill+pause+partition+heal sequence scaled
+// to -n. With -bound the run becomes an assertion and the exit status
+// a verdict: every survivor must suspect every killed node within the
+// bound, no resumed node may stay suspected at collection, and every
+// mid-run joiner must be adopted cluster-wide.
+//
+// The result JSON carries the spec's sha256 config digest
+// (plan_digest), which is the run's identity: -validate parses and
+// semantically checks the plan (printing the digest) without spawning
+// anything, and -if-changed skips the run when the -out file already
+// holds a result with the same digest — a renamed-but-changed plan is
+// never mistaken for a rerun.
 //
 // Examples:
 //
 //	fdorch -n 16 -bound 3s                 # assert a 16-process run
 //	fdorch -n 200 -interval 250ms          # the scale the simulator's exemplar timed out at
 //	fdorch -plan examples/live/smoke16.json -inproc
+//	fdorch -plan examples/scenarios/churn16.json -validate
+//	fdorch -plan examples/scenarios/churn16.json -inproc -out churn16.live.json -if-changed
 package main
 
 import (
@@ -36,35 +47,62 @@ import (
 
 func main() {
 	var (
-		plan     = flag.String("plan", "", "live spec JSON file (default: built-in schedule)")
-		n        = flag.Int("n", 16, "cluster size for the built-in schedule (≥ 6)")
-		est      = flag.String("est", "phi", "estimator: fixed|chen|phi")
-		timeout  = flag.Duration("timeout", 0, "fixed estimator timeout (default 12×interval)")
-		interval = flag.Duration("interval", 50*time.Millisecond, "gossip round period")
-		fanout   = flag.Int("fanout", 0, "gossip destinations per round (0 = all overlay neighbors)")
-		warmup   = flag.Duration("warmup", time.Second, "dissemination warmup before the schedule")
-		settle   = flag.Duration("settle", 2*time.Second, "observation tail after the last event")
-		bound    = flag.Duration("bound", 0, "detection bound to assert (0 = report only)")
-		nodeBin  = flag.String("node-bin", "", "fdnode binary (default: next to fdorch, then $PATH)")
-		inproc   = flag.Bool("inproc", false, "run nodes as goroutines instead of processes")
-		pairs    = flag.Bool("pairs", false, "include the full observer×target metric matrix")
-		out      = flag.String("out", "", "write the JSON result here instead of stdout")
-		seed     = flag.Int64("seed", 1, "fanout sampling seed")
-		runFor   = flag.Duration("max-run", 10*time.Minute, "hard deadline for the whole run")
-		quiet    = flag.Bool("q", false, "suppress progress logging")
+		plan      = flag.String("plan", "", "live spec JSON file (default: built-in schedule)")
+		n         = flag.Int("n", 16, "cluster size for the built-in schedule (≥ 6)")
+		est       = flag.String("est", "phi", "estimator: fixed|chen|phi")
+		timeout   = flag.Duration("timeout", 0, "fixed estimator timeout (default 12×interval)")
+		interval  = flag.Duration("interval", 50*time.Millisecond, "gossip round period")
+		fanout    = flag.Int("fanout", 0, "gossip destinations per round (0 = all overlay neighbors)")
+		warmup    = flag.Duration("warmup", time.Second, "dissemination warmup before the schedule")
+		settle    = flag.Duration("settle", 2*time.Second, "observation tail after the last event")
+		bound     = flag.Duration("bound", 0, "detection bound to assert (0 = report only)")
+		nodeBin   = flag.String("node-bin", "", "fdnode binary (default: next to fdorch, then $PATH)")
+		inproc    = flag.Bool("inproc", false, "run nodes as goroutines instead of processes")
+		pairs     = flag.Bool("pairs", false, "include the full observer×target metric matrix")
+		out       = flag.String("out", "", "write the JSON result here instead of stdout")
+		seed      = flag.Int64("seed", 1, "fanout sampling and fault-lottery seed")
+		runFor    = flag.Duration("max-run", 10*time.Minute, "hard deadline for the whole run")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+		validate  = flag.Bool("validate", false, "parse and semantically check the plan, print its digest, spawn nothing")
+		ifChanged = flag.Bool("if-changed", false, "with -out: skip the run when the existing result carries the same plan_digest")
 	)
 	flag.Parse()
 
-	spec, err := buildSpec(*plan, *n, *est, *timeout, *interval, *fanout, *warmup, *settle, *bound)
+	sp, err := buildSpec(*plan, *n, *est, *timeout, *interval, *fanout, *warmup, *settle, *bound)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdorch:", err)
 		os.Exit(2)
 	}
+	digest, err := sp.digest()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdorch:", err)
+		os.Exit(2)
+	}
+	if *validate {
+		if err := sp.check(); err != nil {
+			fmt.Fprintln(os.Stderr, "fdorch:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok %s\n", sp.name, digest)
+		return
+	}
+	if *ifChanged && *out != "" {
+		if prior, err := priorDigest(*out); err == nil && prior == digest {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "fdorch: %s unchanged (%s), skipping rerun\n", *out, digest)
+			}
+			return
+		}
+	}
 
 	cfg := cluster.Config{
-		Spec:         spec,
 		Seed:         *seed,
 		IncludePairs: *pairs,
+	}
+	if sp.v3 != nil {
+		cfg.Scenario = sp.v3
+	} else {
+		cfg.Spec = sp.live
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr
@@ -111,20 +149,68 @@ func main() {
 		os.Exit(1)
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "fdorch: %s ok — %d/%d reports, %d kill(s) detected, fan-out ≤ %d\n",
-			spec.Name, res.Reports, res.Expected, len(res.Kills), res.MaxDistinctDestinations)
+		fmt.Fprintf(os.Stderr, "fdorch: %s ok — %d/%d reports, %d kill(s) detected, %d join(s), fan-out ≤ %d\n",
+			res.Name, res.Reports, res.Expected, len(res.Kills), len(res.Joins), res.MaxDistinctDestinations)
 	}
 }
 
-// buildSpec loads the plan file or synthesizes the built-in schedule:
-// kill two nodes at t0, pause one across a partition window, cut one
-// node's entire boundary, heal and resume, observe.
-func buildSpec(plan string, n int, est string, timeout, interval time.Duration, fanout int, warmup, settle, bound time.Duration) (scenario.LiveSpec, error) {
+// orchSpec is the loaded plan in whichever format the file used: v3 is
+// set for /v3 scenarios, live otherwise. Both compile to the same
+// fault-plan IR inside the orchestrator.
+type orchSpec struct {
+	name string
+	live scenario.LiveSpec
+	v3   *scenario.Spec
+}
+
+// digest returns the spec's sha256 config digest — the run identity
+// carried as plan_digest in the result JSON.
+func (s orchSpec) digest() (string, error) {
+	if s.v3 != nil {
+		return s.v3.ConfigDigest()
+	}
+	return s.live.ConfigDigest()
+}
+
+// check compiles the fault plan (full semantic validation against the
+// generated overlay) without running anything.
+func (s orchSpec) check() error {
+	if s.v3 != nil {
+		_, err := s.v3.CompilePlan()
+		return err
+	}
+	_, err := s.live.CompilePlan()
+	return err
+}
+
+// priorDigest reads the plan_digest of an existing result file.
+func priorDigest(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var res struct {
+		PlanDigest string `json:"plan_digest"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return "", err
+	}
+	if res.PlanDigest == "" {
+		return "", fmt.Errorf("no plan_digest in %s", path)
+	}
+	return res.PlanDigest, nil
+}
+
+// buildSpec loads the plan file — sniffing the schema to accept both a
+// /v3 scenario and a legacy live spec — or synthesizes the built-in
+// schedule: kill two nodes at t0, pause one across a partition window,
+// cut one node's entire boundary, heal and resume, observe.
+func buildSpec(plan string, n int, est string, timeout, interval time.Duration, fanout int, warmup, settle, bound time.Duration) (orchSpec, error) {
 	if plan != "" {
-		return scenario.LoadLive(plan)
+		return loadPlanFile(plan)
 	}
 	if n < 6 {
-		return scenario.LiveSpec{}, fmt.Errorf("built-in schedule needs n ≥ 6 (got %d); use -plan for smaller clusters", n)
+		return orchSpec{}, fmt.Errorf("built-in schedule needs n ≥ 6 (got %d); use -plan for smaller clusters", n)
 	}
 	estSpec := scenario.LiveEstimatorSpec{}
 	switch est {
@@ -138,7 +224,7 @@ func buildSpec(plan string, n int, est string, timeout, interval time.Duration, 
 	case "phi":
 		estSpec.Kind = scenario.LiveEstPhi
 	default:
-		return scenario.LiveSpec{}, fmt.Errorf("unknown estimator %q", est)
+		return orchSpec{}, fmt.Errorf("unknown estimator %q", est)
 	}
 	spec := scenario.LiveSpec{
 		Name:       fmt.Sprintf("builtin-%d", n),
@@ -159,9 +245,37 @@ func buildSpec(plan string, n int, est string, timeout, interval time.Duration, 
 	}
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
-		return scenario.LiveSpec{}, err
+		return orchSpec{}, err
 	}
-	return spec, nil
+	return orchSpec{name: spec.Name, live: spec}, nil
+}
+
+// loadPlanFile sniffs the file's schema field: "fdspec/v3" loads as a
+// full scenario (the same file cmd/scenario sweeps through the sim),
+// anything else as a legacy live spec.
+func loadPlanFile(path string) (orchSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return orchSpec{}, err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return orchSpec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if probe.Schema == scenario.SchemaV3 {
+		spec, err := scenario.Load(path)
+		if err != nil {
+			return orchSpec{}, err
+		}
+		return orchSpec{name: spec.Name, v3: &spec}, nil
+	}
+	live, err := scenario.LoadLive(path)
+	if err != nil {
+		return orchSpec{}, err
+	}
+	return orchSpec{name: live.Name, live: live}, nil
 }
 
 // resolveNodeBin finds the fdnode binary: the explicit flag, then the

@@ -242,6 +242,173 @@ func TestOrchestratorFailsFastOnWedge(t *testing.T) {
 	}
 }
 
+// churnSpec is a /v3 spec exercising every fault axis the live
+// interpreter knows at once: seeded drop, a kill, a partition window,
+// and a mid-run joiner — with bound_ms turning join adoption and kill
+// detection into assertions.
+func churnSpec() scenario.Spec {
+	return scenario.Spec{
+		Schema:   scenario.SchemaV3,
+		Name:     "churn",
+		N:        12,
+		Horizon:  2000,
+		Seeds:    scenario.SeedSpec{From: 0, To: 0},
+		Protocol: scenario.ProtocolSpec{Kind: scenario.ProtocolBusy},
+		Oracle:   scenario.OracleSpec{Kind: scenario.OraclePerfect, Delay: 2},
+		Topology: scenario.TopologySpec{Kind: scenario.TopologyChord},
+		Plan: []scenario.ActionSpec{
+			{At: 0, Action: "drop", Pct: 10},
+			{At: 0, Action: "kill", Nodes: []int{3}},
+			{At: 200, Action: "cut", Side: []int{1, 2}},
+			{At: 500, Action: "heal"},
+			{At: 600, Action: "join", Nodes: []int{12}},
+		},
+		Live: &scenario.LiveParams{
+			IntervalMs: 25,
+			Estimator:  scenario.LiveEstimatorSpec{Kind: scenario.LiveEstFixed, TimeoutMs: 300},
+			WarmupMs:   800,
+			SettleMs:   1500,
+			BoundMs:    3000,
+		},
+	}
+}
+
+// TestInProcClusterJoinConvergence runs the /v3 churn spec against
+// goroutine nodes: node 12 is spawned mid-run under a 10% seeded drop
+// rate, and within the settle window (60 gossip rounds) every survivor
+// must carry its counters (gossip adoption) and have grown its
+// membership view to include it — the end-to-end churn axis.
+func TestInProcClusterJoinConvergence(t *testing.T) {
+	spec := churnSpec()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Scenario: &spec,
+		Spawner:  InProcSpawner{},
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("assertions failed:\n%s", strings.Join(res.Failures, "\n"))
+	}
+	// 12 nodes, one killed: 11 survivors report — including the joiner.
+	if res.Reports != 11 || res.Expected != 11 {
+		t.Fatalf("reports %d/%d, want 11/11", res.Reports, res.Expected)
+	}
+	if !strings.HasPrefix(res.PlanDigest, "sha256:") {
+		t.Fatalf("plan digest %q", res.PlanDigest)
+	}
+	if len(res.Joins) != 1 {
+		t.Fatalf("join summaries: %+v", res.Joins)
+	}
+	jr := res.Joins[0]
+	if jr.Target != 12 || jr.AtMs != 600 || jr.Observers != 10 {
+		t.Fatalf("join summary: %+v", jr)
+	}
+	if jr.KnownBy != jr.Observers {
+		t.Fatalf("joiner in gossip state of %d/%d survivors", jr.KnownBy, jr.Observers)
+	}
+	if jr.InViewOf != jr.Observers {
+		t.Fatalf("joiner in membership view of %d/%d survivors", jr.InViewOf, jr.Observers)
+	}
+	// The killed node is detected by everyone who coexisted with it —
+	// the joiner is exempt, it was born after the corpse went cold.
+	if len(res.Kills) != 1 || res.Kills[0].Observers != 10 || res.Kills[0].Detected != 10 {
+		t.Fatalf("kill summary: %+v", res.Kills)
+	}
+	// The seeded drop hook actually ran: frames flowed and some died.
+	if res.FramesSent == 0 || res.FramesDropped == 0 {
+		t.Fatalf("fault hook idle: sent=%d dropped=%d", res.FramesSent, res.FramesDropped)
+	}
+}
+
+// TestInProcClusterFaultDeterminism pins the seeded-loss contract: two
+// runs with the same seed make identical per-link drop/delay verdicts.
+// Wall-clock frame counts differ between runs, so the comparison is
+// over the common prefix of each link's recorded decision bitmap —
+// verdicts are a pure function of (seed, sender, dest, frame index).
+func TestInProcClusterFaultDeterminism(t *testing.T) {
+	spec := scenario.Spec{
+		Schema:   scenario.SchemaV3,
+		Name:     "det",
+		N:        6,
+		Horizon:  1000,
+		Seeds:    scenario.SeedSpec{From: 0, To: 0},
+		Protocol: scenario.ProtocolSpec{Kind: scenario.ProtocolBusy},
+		Oracle:   scenario.OracleSpec{Kind: scenario.OraclePerfect, Delay: 2},
+		Topology: scenario.TopologySpec{Kind: scenario.TopologyChord},
+		Plan: []scenario.ActionSpec{
+			{At: 0, Action: "drop", Pct: 30},
+			{At: 0, Action: "delay", Bound: 2},
+		},
+		Live: &scenario.LiveParams{
+			IntervalMs: 20,
+			Estimator:  scenario.LiveEstimatorSpec{Kind: scenario.LiveEstFixed, TimeoutMs: 400},
+			WarmupMs:   300,
+			SettleMs:   600,
+		},
+	}
+	run := func() *Result {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		res, err := Run(ctx, Config{
+			Scenario:              &spec,
+			Spawner:               InProcSpawner{},
+			Seed:                  11,
+			CollectFaultDecisions: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reports != 6 {
+			t.Fatalf("reports %d, want 6", res.Reports)
+		}
+		if res.FramesDropped == 0 {
+			t.Fatal("30%% drop rate dropped nothing")
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.PlanDigest == "" || a.PlanDigest != b.PlanDigest {
+		t.Fatalf("plan digests diverge: %q vs %q", a.PlanDigest, b.PlanDigest)
+	}
+	links, drops := 0, 0
+	for id, ra := range a.NodeReports {
+		rb := b.NodeReports[id]
+		if rb == nil {
+			t.Fatalf("node %d reported in run A only", id)
+		}
+		for dest, da := range ra.FaultDecisions {
+			db := rb.FaultDecisions[dest]
+			common := len(da)
+			if len(db) < common {
+				common = len(db)
+			}
+			if common == 0 {
+				t.Fatalf("link %d→%d: no common decision prefix (%d vs %d frames)", id, dest, len(da), len(db))
+			}
+			links++
+			for i := 0; i < common; i++ {
+				if da[i] != db[i] {
+					t.Fatalf("link %d→%d: verdict %d diverges between runs", id, dest, i)
+				}
+				if da[i] {
+					drops++
+				}
+			}
+		}
+	}
+	if links == 0 {
+		t.Fatal("no decision bitmaps collected")
+	}
+	if drops == 0 {
+		t.Fatal("common prefixes contain no drops — determinism untested")
+	}
+}
+
 func TestEstimatorFactoryKinds(t *testing.T) {
 	interval := 50 * time.Millisecond
 	cases := []struct {

@@ -40,6 +40,19 @@ type NodeConfig struct {
 	Estimator scenario.LiveEstimatorSpec `json:"estimator,omitzero"`
 	// Seed drives fanout sampling.
 	Seed int64 `json:"seed,omitempty"`
+	// FaultSeed, when non-zero, installs a transport.FaultHook seeded
+	// with it — the plan interpreter's drop/delay actions then set its
+	// rates over the control channel.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// DropPct and DelayMaxMs preload the fault hook with the loss rates
+	// already in effect at this node's start instant. A rate change over
+	// the control channel lands at a wall-clock-dependent frame index;
+	// preloading keeps fully seeded runs reproducible frame-by-frame.
+	DropPct    int   `json:"drop_pct,omitempty"`
+	DelayMaxMs int64 `json:"delay_max_ms,omitempty"`
+	// RecordDecisions ships the fault hook's per-link verdict prefixes
+	// in the report (the orchestrator's determinism audit).
+	RecordDecisions bool `json:"record_decisions,omitempty"`
 }
 
 func (c *NodeConfig) normalize() {
@@ -227,6 +240,17 @@ func runNode(cfg NodeConfig, h *inprocHandle) error {
 	for id, addr := range topo.Peers {
 		tr.SetPeer(model.ProcessID(id), addr)
 	}
+	var hook *transport.FaultHook
+	if cfg.FaultSeed != 0 {
+		hook = transport.NewFaultHook(model.ProcessID(cfg.ID), uint64(cfg.FaultSeed))
+		if cfg.DropPct > 0 {
+			hook.SetDrop(cfg.DropPct)
+		}
+		if cfg.DelayMaxMs > 0 {
+			hook.SetDelayMax(int(cfg.DelayMaxMs))
+		}
+		tr.SetFaultHook(hook)
+	}
 
 	g, err := heartbeat.NewGossiper(tr, heartbeat.GossipConfig{
 		Self:         cfg.ID,
@@ -236,6 +260,7 @@ func runNode(cfg NodeConfig, h *inprocHandle) error {
 		Interval:     interval,
 		NewEstimator: EstimatorFactory(cfg.Estimator, interval),
 		Seed:         cfg.Seed,
+		Deferred:     topo.Deferred,
 	})
 	if err != nil {
 		_ = tr.Close()
@@ -252,12 +277,23 @@ func runNode(cfg NodeConfig, h *inprocHandle) error {
 		}
 	}()
 
-	// At simulator scale the membership feed derives shrink-only views
-	// from the disseminated suspicion state; larger clusters run
-	// detection-only (ProcessSet is a 64-bit bitmap).
+	// The membership feed derives view sequences from the disseminated
+	// suspicion state at any cluster size (the former 64-process cap is
+	// gone): initial members are everyone but the plan's deferred
+	// joiners, who are admitted as the gossip layer sights them.
 	var feed *membership.Feed
-	if cfg.N <= model.MaxProcesses {
-		feed, _ = membership.NewFeed(model.ProcessID(cfg.ID), cfg.N)
+	{
+		deferred := make(map[int]bool, len(topo.Deferred))
+		for _, d := range topo.Deferred {
+			deferred[d] = true
+		}
+		members := make([]int, 0, cfg.N)
+		for id := 1; id <= cfg.N; id++ {
+			if !deferred[id] || id == cfg.ID {
+				members = append(members, id)
+			}
+		}
+		feed, _ = membership.NewFeedMembers(cfg.ID, members)
 	}
 
 	// Control reader: buffered well past the handful of frames an
@@ -293,11 +329,10 @@ func runNode(cfg NodeConfig, h *inprocHandle) error {
 		}
 		samples++
 		if feed != nil {
-			set := model.NewProcessSet()
-			for _, q := range g.CommunitySuspects() {
-				set = set.Add(model.ProcessID(q))
+			for _, id := range g.Known() {
+				feed.Admit(id) // no-op for current members
 			}
-			feed.Update(set)
+			feed.Update(g.CommunitySuspects())
 		}
 	}
 
@@ -327,6 +362,17 @@ func runNode(cfg NodeConfig, h *inprocHandle) error {
 						tr.SetCut(model.ProcessID(t), false)
 					}
 				}
+			case ctlDrop:
+				if hook != nil {
+					hook.SetDrop(m.Pct)
+				}
+			case ctlDelay:
+				if hook != nil {
+					hook.SetDelayMax(int(m.BoundMs))
+				}
+			case ctlJoin:
+				tr.SetPeer(model.ProcessID(m.Joiner), m.JoinerAddr)
+				g.AddPeer(m.Joiner)
 			case ctlCollect:
 				now := time.Now()
 				sample(now)
@@ -340,9 +386,22 @@ func runNode(cfg NodeConfig, h *inprocHandle) error {
 					Rounds:        g.Rounds(),
 				}
 				if feed != nil {
-					rep.ViewID = feed.View().ID
-					for _, p := range feed.Excluded().Slice() {
-						rep.Excluded = append(rep.Excluded, int(p))
+					v := feed.View()
+					rep.ViewID = v.ID
+					rep.Members = v.Members
+					rep.Excluded = feed.Excluded()
+				}
+				rep.Known = g.Known()
+				if hook != nil {
+					rep.FaultStats = map[int]transport.LinkStats{}
+					for to, st := range hook.Stats() {
+						rep.FaultStats[int(to)] = st
+					}
+					if cfg.RecordDecisions {
+						rep.FaultDecisions = map[int][]bool{}
+						for to := range rep.FaultStats {
+							rep.FaultDecisions[to] = hook.Decisions(model.ProcessID(to))
+						}
 					}
 				}
 				if err := transport.WriteJSON(ctl, ctlMsg{Kind: ctlReport, Report: rep}); err != nil {

@@ -9,23 +9,35 @@ import (
 	"sort"
 	"time"
 
-	"realisticfd/internal/model"
 	"realisticfd/internal/qos"
 	"realisticfd/internal/scenario"
 	"realisticfd/internal/transport"
 )
 
-// Config parameterizes one orchestrated run.
+// Config parameterizes one orchestrated run. Exactly one of Spec and
+// Scenario describes the run: Spec is the legacy live format whose
+// schedule is compiled to the fault-plan IR on entry; Scenario is a
+// /v3 spec whose plan and live parameters drive the run directly —
+// both formats reach the same interpreter.
 type Config struct {
-	// Spec is the normalized, validated live scenario.
+	// Spec is the normalized, validated live scenario (legacy format);
+	// used when Scenario is nil.
 	Spec scenario.LiveSpec
+	// Scenario, when non-nil, is a parsed /v3 spec: its fault plan,
+	// topology and live parameters define the run.
+	Scenario *scenario.Spec
 	// Spawner launches the nodes (processes or goroutines).
 	Spawner Spawner
-	// Seed perturbs each node's fanout sampling (node i gets Seed+i).
+	// Seed perturbs each node's fanout sampling (node i gets Seed+i)
+	// and derives the per-node fault-hook lottery seeds.
 	Seed int64
 	// IncludePairs adds the full observer×target metric matrix to the
 	// result (n·(n−1) entries — summaries only, by default).
 	IncludePairs bool
+	// CollectFaultDecisions ships each node's recorded per-link
+	// drop-verdict prefixes in its report — the cross-run determinism
+	// audit.
+	CollectFaultDecisions bool
 	// HelloTimeout bounds cluster assembly (default 60s).
 	HelloTimeout time.Duration
 	// CollectTimeout bounds report collection (default 30s): a wedged
@@ -33,6 +45,86 @@ type Config struct {
 	CollectTimeout time.Duration
 	// Log receives progress lines; nil is silent.
 	Log io.Writer
+}
+
+// runSpec is the resolved form both Config formats reduce to: one
+// interpreter input, whichever spec vocabulary described the run.
+type runSpec struct {
+	name   string
+	n      int
+	topo   scenario.TopologySpec
+	live   scenario.LiveParams
+	plan   *scenario.FaultPlan
+	digest string
+}
+
+// resolveRun compiles the Config's spec — either format — into the
+// interpreter's input.
+func resolveRun(cfg Config) (runSpec, error) {
+	if cfg.Scenario != nil {
+		s := *cfg.Scenario
+		plan, err := s.CompilePlan()
+		if err != nil {
+			return runSpec{}, err
+		}
+		var live scenario.LiveParams
+		if s.Live != nil {
+			live = *s.Live
+		}
+		live.Normalize()
+		digest, err := s.ConfigDigest()
+		if err != nil {
+			return runSpec{}, err
+		}
+		return runSpec{name: s.Name, n: s.N, topo: s.Topology, live: live, plan: plan, digest: digest}, nil
+	}
+	spec := cfg.Spec
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return runSpec{}, err
+	}
+	plan, err := spec.CompilePlan()
+	if err != nil {
+		return runSpec{}, err
+	}
+	digest, err := spec.ConfigDigest()
+	if err != nil {
+		return runSpec{}, err
+	}
+	return runSpec{name: spec.Name, n: spec.N, topo: spec.Topology, live: spec.LiveDefaults(), plan: plan, digest: digest}, nil
+}
+
+// joins returns the plan's joiner→instant index (empty when no plan).
+func (rs runSpec) joins() map[int]int64 {
+	if rs.plan == nil {
+		return nil
+	}
+	return rs.plan.Joins
+}
+
+// needsFaultHook reports whether the plan ever touches the loss axes —
+// only then do nodes install a transport.FaultHook, keeping legacy
+// runs on the exact pre-hook send path.
+func (rs runSpec) needsFaultHook() bool {
+	if rs.plan == nil {
+		return false
+	}
+	for _, a := range rs.plan.Actions {
+		if a.Kind == scenario.ActDrop || a.Kind == scenario.ActDelay {
+			return true
+		}
+	}
+	return false
+}
+
+// faultSeedFor derives node id's fault-hook lottery seed from the run
+// seed: distinct per node, never zero (zero means "no hook").
+func faultSeedFor(seed int64, id int) int64 {
+	fs := seed*1_000_003 + int64(id)
+	if fs == 0 {
+		fs = int64(id) + 1
+	}
+	return fs
 }
 
 // PairMetric is one observer's QoS verdict about one target, folded
@@ -50,8 +142,8 @@ type PairMetric struct {
 	SuspectedAtCollect bool    `json:"suspected_at_collect,omitempty"`
 }
 
-// KillReport aggregates detection of one killed node across the
-// surviving observers.
+// KillReport aggregates detection of one killed (or departed) node
+// across the surviving observers.
 type KillReport struct {
 	Target          int     `json:"target"`
 	AtMs            int64   `json:"at_ms"`
@@ -69,8 +161,18 @@ type PauseReport struct {
 	SuspectedAtEndBy []int `json:"suspected_at_end_by,omitempty"`
 }
 
-// NodeView is one reporting node's final membership view (clusters
-// within the 64-process ProcessSet bound run the membership feed).
+// JoinReport aggregates the cluster's adoption of one mid-run joiner:
+// how many survivors' gossip state carries its counters, and how many
+// grew their membership view to include it.
+type JoinReport struct {
+	Target    int   `json:"target"`
+	AtMs      int64 `json:"at_ms"`
+	Observers int   `json:"observers"`
+	KnownBy   int   `json:"known_by"`
+	InViewOf  int   `json:"in_view_of"`
+}
+
+// NodeView is one reporting node's final membership view.
 type NodeView struct {
 	Node     int   `json:"node"`
 	ViewID   int   `json:"view_id"`
@@ -88,6 +190,10 @@ type Result struct {
 	Estimator      string `json:"estimator"`
 	ElapsedMs      int64  `json:"elapsed_ms"`
 
+	// PlanDigest is the sha256 identity of the spec that produced this
+	// run — the rerun/checkpoint key cmd/fdorch matches on.
+	PlanDigest string `json:"plan_digest,omitempty"`
+
 	// Reports is how many of the Expected surviving nodes reported.
 	Reports  int `json:"reports"`
 	Expected int `json:"expected"`
@@ -103,8 +209,15 @@ type Result struct {
 	FalseSuspicionMistakes int     `json:"false_suspicion_mistakes"`
 	MinQueryAccuracy       float64 `json:"min_query_accuracy"`
 
+	// FramesSent/FramesDropped total the fault hooks' per-link tallies
+	// across all reporting nodes (zero when the plan never enabled the
+	// loss axes).
+	FramesSent    uint64 `json:"frames_sent,omitempty"`
+	FramesDropped uint64 `json:"frames_dropped,omitempty"`
+
 	Kills  []KillReport  `json:"kills,omitempty"`
 	Pauses []PauseReport `json:"pauses,omitempty"`
+	Joins  []JoinReport  `json:"joins,omitempty"`
 	Views  []NodeView    `json:"views,omitempty"`
 
 	// Failures are violated assertions (bound_ms) and collection
@@ -112,6 +225,11 @@ type Result struct {
 	Failures []string `json:"failures,omitempty"`
 
 	Pairs []PairMetric `json:"pairs,omitempty"`
+
+	// NodeReports carries the raw per-node reports when the run was
+	// asked to collect fault decisions — the determinism audit needs
+	// the verdict prefixes, not just the folded metrics.
+	NodeReports map[int]*NodeReport `json:"-"`
 }
 
 // nodeState is the orchestrator's book-keeping for one node.
@@ -144,13 +262,13 @@ type helloMsg struct {
 }
 
 // Run executes one live-cluster scenario end to end: assemble the
-// cluster, wire the overlay, run the fault schedule, collect
-// reports, fold metrics. The context is the hard deadline — on
-// cancellation everything spawned is reclaimed and an error returned.
+// cluster (minus the plan's mid-run joiners), wire the overlay,
+// interpret the fault plan, collect reports, fold metrics. The
+// context is the hard deadline — on cancellation everything spawned
+// is reclaimed and an error returned.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	spec := cfg.Spec
-	spec.Normalize()
-	if err := spec.Validate(); err != nil {
+	rs, err := resolveRun(cfg)
+	if err != nil {
 		return nil, err
 	}
 	if cfg.Spawner == nil {
@@ -172,11 +290,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	// Overlay first: if the topology is unbuildable there is nothing
 	// to spawn.
-	edges, err := spec.Topology.Edges(spec.N)
+	edges, err := rs.topo.Edges(rs.n)
 	if err != nil {
 		return nil, err
 	}
-	neighbors := make(map[int][]int, spec.N)
+	neighbors := make(map[int][]int, rs.n)
 	for _, e := range edges {
 		a, b := int(e.A), int(e.B)
 		neighbors[a] = append(neighbors[a], b)
@@ -196,12 +314,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	defer func() { _ = ln.Close() }()
 
-	hellos := make(chan helloMsg, spec.N)
-	inbound := make(chan inboundMsg, 4*spec.N)
-	readers := make(map[int]*bufio.Reader, spec.N)
+	hellos := make(chan helloMsg, rs.n)
+	inbound := make(chan inboundMsg, 4*rs.n)
+	readers := make(map[int]*bufio.Reader, rs.n)
 	go acceptLoop(ln, hellos, helloTimeout)
 
-	states := make(map[int]*nodeState, spec.N)
+	states := make(map[int]*nodeState, rs.n)
 	defer func() {
 		for _, st := range states {
 			if st.conn != nil {
@@ -213,86 +331,187 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}()
 
-	logf("spawning %d nodes (control %s)", spec.N, ln.Addr())
-	for id := 1; id <= spec.N; id++ {
-		h, err := cfg.Spawner.Spawn(NodeConfig{
-			ID:             id,
-			N:              spec.N,
-			ControlAddr:    ln.Addr().String(),
-			IntervalMs:     spec.IntervalMs,
-			SamplePeriodMs: spec.SamplePeriodMs,
-			Fanout:         spec.Fanout,
-			Estimator:      spec.Estimator,
-			Seed:           cfg.Seed + int64(id),
-		})
+	joins := rs.joins()
+	needHook := rs.needsFaultHook()
+	// The loss rates in effect at a node's spawn instant ride in its
+	// NodeConfig: instant-0 rates for the initial fleet, the current
+	// rates for joiners. A rate change over the control channel lands at
+	// a wall-clock-dependent frame index, so spawn-time preloading is
+	// what keeps fully seeded runs reproducible frame-by-frame.
+	curDrop, curDelay := 0, int64(0)
+	if rs.plan != nil {
+		for _, a := range rs.plan.Actions {
+			if a.At != 0 {
+				continue
+			}
+			switch a.Kind {
+			case scenario.ActDrop:
+				curDrop = a.Pct
+			case scenario.ActDelay:
+				curDelay = a.Bound
+			}
+		}
+	}
+	nodeCfg := func(id int) NodeConfig {
+		nc := NodeConfig{
+			ID:              id,
+			N:               rs.n,
+			ControlAddr:     ln.Addr().String(),
+			IntervalMs:      rs.live.IntervalMs,
+			SamplePeriodMs:  rs.live.SamplePeriodMs,
+			Fanout:          rs.live.Fanout,
+			Estimator:       rs.live.Estimator,
+			Seed:            cfg.Seed + int64(id),
+			RecordDecisions: cfg.CollectFaultDecisions,
+		}
+		if needHook {
+			nc.FaultSeed = faultSeedFor(cfg.Seed, id)
+			nc.DropPct = curDrop
+			nc.DelayMaxMs = curDelay
+		}
+		return nc
+	}
+	spawn := func(id int) error {
+		h, err := cfg.Spawner.Spawn(nodeCfg(id))
 		if err != nil {
-			return nil, fmt.Errorf("cluster: spawn node %d: %w", id, err)
+			return fmt.Errorf("cluster: spawn node %d: %w", id, err)
 		}
 		states[id] = &nodeState{id: id, handle: h}
+		return nil
+	}
+	// deferredFrom lists the joiners a node starting at plan instant
+	// `at` has not yet seen: the gossip layer holds their estimators
+	// (and any suspicion of them) until their counters appear.
+	deferredFrom := func(self int, at int64) []int {
+		var out []int
+		for j, jt := range joins {
+			if j != self && jt >= at {
+				out = append(out, j)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	// sendTopology wires node id: addresses of its already-running
+	// overlay neighbors, plus its deferred set.
+	sendTopology := func(id int, startAt int64) error {
+		st := states[id]
+		peers := make(map[int]string, len(neighbors[id]))
+		var gossipPeers []int
+		for _, nb := range neighbors[id] {
+			nst := states[nb]
+			if nst == nil || nst.addr == "" {
+				continue // a later joiner: adopted via ctlJoin at its join
+			}
+			peers[nb] = nst.addr
+			gossipPeers = append(gossipPeers, nb)
+		}
+		msg := ctlMsg{Kind: ctlTopology, Peers: peers, GossipPeers: gossipPeers, Deferred: deferredFrom(id, startAt)}
+		if err := transport.WriteJSON(st.conn, msg); err != nil {
+			return fmt.Errorf("cluster: send topology to node %d: %w", id, err)
+		}
+		return nil
+	}
+	// awaitHellos consumes hello frames until every id in want has
+	// connected.
+	awaitHellos := func(want map[int]bool) error {
+		deadline := time.NewTimer(helloTimeout)
+		defer deadline.Stop()
+		for remaining := len(want); remaining > 0; {
+			select {
+			case h := <-hellos:
+				if h.err != nil {
+					return fmt.Errorf("cluster: hello: %w", h.err)
+				}
+				st := states[h.msg.ID]
+				if st == nil || h.msg.Kind != ctlHello || !want[h.msg.ID] {
+					_ = h.conn.Close()
+					return fmt.Errorf("cluster: bad hello (kind %q, id %d)", h.msg.Kind, h.msg.ID)
+				}
+				if st.conn != nil {
+					_ = h.conn.Close()
+					return fmt.Errorf("cluster: duplicate hello from node %d", h.msg.ID)
+				}
+				st.conn = h.conn
+				st.addr = h.msg.Addr
+				readers[st.id] = h.r
+				remaining--
+			case <-deadline.C:
+				return fmt.Errorf("cluster: only %d/%d nodes said hello within %v", countConnected(states), rs.n, helloTimeout)
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
 	}
 
-	// Assemble: every node must say hello before the overlay is wired.
-	deadline := time.NewTimer(helloTimeout)
-	defer deadline.Stop()
-	for got := 0; got < spec.N; {
-		select {
-		case h := <-hellos:
-			if h.err != nil {
-				return nil, fmt.Errorf("cluster: hello: %w", h.err)
-			}
-			st := states[h.msg.ID]
-			if st == nil || h.msg.Kind != ctlHello {
-				_ = h.conn.Close()
-				return nil, fmt.Errorf("cluster: bad hello (kind %q, id %d)", h.msg.Kind, h.msg.ID)
-			}
-			if st.conn != nil {
-				_ = h.conn.Close()
-				return nil, fmt.Errorf("cluster: duplicate hello from node %d", h.msg.ID)
-			}
-			st.conn = h.conn
-			st.addr = h.msg.Addr
-			readers[st.id] = h.r
-			got++
-		case <-deadline.C:
-			return nil, fmt.Errorf("cluster: only %d/%d nodes said hello within %v", countConnected(states), spec.N, helloTimeout)
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	initial := make([]int, 0, rs.n)
+	for id := 1; id <= rs.n; id++ {
+		if _, joiner := joins[id]; !joiner {
+			initial = append(initial, id)
 		}
 	}
-	logf("all %d nodes up; wiring %s overlay (max degree %d)", spec.N, spec.Topology.Kind, degree)
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("cluster: every node is a mid-run joiner; nothing to bootstrap")
+	}
+
+	logf("spawning %d/%d nodes (%d join mid-run; control %s)", len(initial), rs.n, rs.n-len(initial), ln.Addr())
+	wantInitial := make(map[int]bool, len(initial))
+	for _, id := range initial {
+		if err := spawn(id); err != nil {
+			return nil, err
+		}
+		wantInitial[id] = true
+	}
+
+	// Assemble: every initial node must say hello before the overlay
+	// is wired.
+	if err := awaitHellos(wantInitial); err != nil {
+		return nil, err
+	}
+	logf("all %d initial nodes up; wiring %s overlay (max degree %d)", len(initial), rs.topo.Kind, degree)
 
 	// Wire the overlay and start the per-node control readers.
-	for id, st := range states {
-		peers := make(map[int]string, len(neighbors[id]))
-		for _, nb := range neighbors[id] {
-			peers[nb] = states[nb].addr
-		}
-		msg := ctlMsg{Kind: ctlTopology, Peers: peers, GossipPeers: neighbors[id]}
-		if err := transport.WriteJSON(st.conn, msg); err != nil {
-			return nil, fmt.Errorf("cluster: send topology to node %d: %w", id, err)
+	for _, id := range initial {
+		if err := sendTopology(id, 0); err != nil {
+			return nil, err
 		}
 		go readLoop(id, readers[id], inbound)
 	}
 
-	if err := sleepCtx(ctx, time.Duration(spec.WarmupMs)*time.Millisecond); err != nil {
+	if err := sleepCtx(ctx, time.Duration(rs.live.WarmupMs)*time.Millisecond); err != nil {
 		return nil, err
 	}
 
-	// The schedule runs against t0 = end of warmup.
+	// The plan runs against t0 = end of warmup; action instants are
+	// milliseconds after it.
 	t0 := time.Now()
-	ordered := append([]scenario.LiveEventSpec(nil), spec.Schedule...)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].AtMs < ordered[j].AtMs })
-	activeCuts := map[[2]int]bool{}
-	for _, ev := range ordered {
-		if err := sleepCtx(ctx, time.Until(t0.Add(time.Duration(ev.AtMs)*time.Millisecond))); err != nil {
-			return nil, err
-		}
-		if err := execEvent(spec, ev, states, activeCuts, logf); err != nil {
-			return nil, err
+	it := &interp{
+		states:    states,
+		neighbors: neighbors,
+		readers:   readers,
+		inbound:   inbound,
+		spawn:     spawn,
+		sendTopo:  sendTopology,
+		await:     awaitHellos,
+		joined:    map[int]time.Time{},
+		cuts:      map[[2]int]bool{},
+		curDrop:   &curDrop,
+		curDelay:  &curDelay,
+		logf:      logf,
+	}
+	if rs.plan != nil {
+		for _, a := range rs.plan.Actions {
+			if err := sleepCtx(ctx, time.Until(t0.Add(time.Duration(a.At)*time.Millisecond))); err != nil {
+				return nil, err
+			}
+			if err := it.exec(a); err != nil {
+				return nil, err
+			}
 		}
 	}
 
-	if err := sleepCtx(ctx, time.Duration(spec.SettleMs)*time.Millisecond); err != nil {
+	if err := sleepCtx(ctx, time.Duration(rs.live.SettleMs)*time.Millisecond); err != nil {
 		return nil, err
 	}
 	// A node still paused at collection cannot report; resume it.
@@ -355,68 +574,110 @@ collect:
 		}
 	}
 
-	res := foldResult(spec, cfg, states, reports, failures, degree, time.Since(t0))
-	interval := time.Duration(spec.IntervalMs) * time.Millisecond
-	res.Estimator = EstimatorFactory(spec.Estimator, interval)().Name()
+	res := foldResult(rs, cfg, states, reports, it.joined, failures, degree, time.Since(t0))
+	interval := time.Duration(rs.live.IntervalMs) * time.Millisecond
+	res.Estimator = EstimatorFactory(rs.live.Estimator, interval)().Name()
+	res.PlanDigest = rs.digest
+	if cfg.CollectFaultDecisions {
+		res.NodeReports = reports
+	}
 	return res, nil
 }
 
-// execEvent applies one scheduled fault.
-func execEvent(spec scenario.LiveSpec, ev scenario.LiveEventSpec, states map[int]*nodeState, activeCuts map[[2]int]bool, logf func(string, ...any)) error {
-	switch ev.Action {
-	case scenario.LiveKill:
-		for _, id := range ev.Nodes {
-			st := states[id]
+// interp is the fault-plan interpreter's mutable state: the live
+// lowering of the IR, verb by verb.
+type interp struct {
+	states    map[int]*nodeState
+	neighbors map[int][]int
+	readers   map[int]*bufio.Reader
+	inbound   chan inboundMsg
+	spawn     func(id int) error
+	sendTopo  func(id int, startAt int64) error
+	await     func(want map[int]bool) error
+	joined    map[int]time.Time
+	cuts      map[[2]int]bool
+	curDrop   *int // shared with nodeCfg: joiners preload the current rates
+	curDelay  *int64
+	logf      func(string, ...any)
+}
+
+// broadcast sends one control frame to every running node.
+func (it *interp) broadcast(msg ctlMsg) {
+	for _, st := range it.states {
+		if st.killed || st.conn == nil {
+			continue
+		}
+		// A write to a freshly dead node's half-open socket can succeed
+		// or fail; either way the node is gone — not fatal.
+		_ = transport.WriteJSON(st.conn, msg)
+	}
+}
+
+// exec applies one plan action.
+func (it *interp) exec(a scenario.PlanAction) error {
+	switch a.Kind {
+	case scenario.ActKill:
+		for _, id := range a.Nodes {
+			st := it.states[id]
 			if err := st.handle.Kill(); err != nil {
 				return fmt.Errorf("cluster: kill node %d: %w", id, err)
 			}
 			st.killed = true
 			st.killedAt = time.Now()
-			logf("t+%dms: killed node %d", ev.AtMs, id)
+			it.logf("t+%dms: killed node %d", a.At, id)
 		}
-	case scenario.LivePause:
-		for _, id := range ev.Nodes {
-			st := states[id]
+	case scenario.ActLeave:
+		// A leave is a clean departure: the node exits on ctlStop (no
+		// report), falling back to a kill if the stop cannot be sent.
+		for _, id := range a.Nodes {
+			st := it.states[id]
+			if st.conn == nil || transport.WriteJSON(st.conn, ctlMsg{Kind: ctlStop}) != nil {
+				_ = st.handle.Kill()
+			}
+			st.killed = true
+			st.killedAt = time.Now()
+			it.logf("t+%dms: node %d left", a.At, id)
+		}
+	case scenario.ActPause:
+		for _, id := range a.Nodes {
+			st := it.states[id]
 			if err := st.handle.Pause(); err != nil {
 				return fmt.Errorf("cluster: pause node %d: %w", id, err)
 			}
 			st.paused = true
 			st.pausedEver = true
-			logf("t+%dms: paused node %d", ev.AtMs, id)
+			it.logf("t+%dms: paused node %d", a.At, id)
 		}
-	case scenario.LiveResume:
-		for _, id := range ev.Nodes {
-			st := states[id]
+	case scenario.ActResume:
+		for _, id := range a.Nodes {
+			st := it.states[id]
 			if err := st.handle.Resume(); err != nil {
 				return fmt.Errorf("cluster: resume node %d: %w", id, err)
 			}
 			st.paused = false
-			logf("t+%dms: resumed node %d", ev.AtMs, id)
+			it.logf("t+%dms: resumed node %d", a.At, id)
 		}
-	case scenario.LivePartition, scenario.LiveHeal:
-		edges, err := spec.ResolveEdges(ev)
-		if err != nil {
-			return err
-		}
-		cut := ev.Action == scenario.LivePartition
+	case scenario.ActCut, scenario.ActHeal:
+		cut := a.Kind == scenario.ActCut
+		edges := a.Edges
 		if !cut && edges == nil {
 			// Bare heal: undo every active cut.
-			for e := range activeCuts {
+			for e := range it.cuts {
 				edges = append(edges, e)
 			}
 		}
 		targets := map[int][]int{}
 		for _, e := range edges {
-			a, b := e[0], e[1]
-			if a > b {
-				a, b = b, a
+			x, y := e[0], e[1]
+			if x > y {
+				x, y = y, x
 			}
-			targets[a] = append(targets[a], b)
-			targets[b] = append(targets[b], a)
+			targets[x] = append(targets[x], y)
+			targets[y] = append(targets[y], x)
 			if cut {
-				activeCuts[[2]int{a, b}] = true
+				it.cuts[[2]int{x, y}] = true
 			} else {
-				delete(activeCuts, [2]int{a, b})
+				delete(it.cuts, [2]int{x, y})
 			}
 		}
 		kind := ctlCut
@@ -424,32 +685,81 @@ func execEvent(spec scenario.LiveSpec, ev scenario.LiveEventSpec, states map[int
 			kind = ctlHeal
 		}
 		for id, ts := range targets {
-			st := states[id]
-			if st.killed || st.conn == nil {
+			st := it.states[id]
+			if st == nil || st.killed || st.conn == nil {
 				continue
 			}
 			sort.Ints(ts)
-			// A write to a freshly killed node's half-open socket can
-			// succeed or fail; either way the node is gone, so errors
-			// here are not fatal.
 			_ = transport.WriteJSON(st.conn, ctlMsg{Kind: kind, Targets: ts})
 		}
-		logf("t+%dms: %s %d edge(s)", ev.AtMs, ev.Action, len(edges))
+		it.logf("t+%dms: %s %d edge(s)", a.At, a.Kind, len(edges))
+	case scenario.ActDrop:
+		*it.curDrop = a.Pct
+		it.broadcast(ctlMsg{Kind: ctlDrop, Pct: a.Pct})
+		it.logf("t+%dms: drop rate → %d%%", a.At, a.Pct)
+	case scenario.ActDelay:
+		*it.curDelay = a.Bound
+		it.broadcast(ctlMsg{Kind: ctlDelay, BoundMs: a.Bound})
+		it.logf("t+%dms: delay bound → %dms", a.At, a.Bound)
+	case scenario.ActJoin:
+		return it.join(a)
+	}
+	return nil
+}
+
+// join brings one batch of mid-run joiners up: spawn, hello, wire,
+// replay the current loss rates, and introduce each joiner to its
+// running overlay neighbors.
+func (it *interp) join(a scenario.PlanAction) error {
+	want := make(map[int]bool, len(a.Nodes))
+	for _, id := range a.Nodes {
+		if err := it.spawn(id); err != nil {
+			return err
+		}
+		want[id] = true
+	}
+	if err := it.await(want); err != nil {
+		return err
+	}
+	for _, id := range a.Nodes {
+		if err := it.sendTopo(id, a.At); err != nil {
+			return err
+		}
+		// No rate replay needed: the joiner's NodeConfig preloaded the
+		// current drop/delay rates at spawn.
+		go readLoop(id, it.readers[id], it.inbound)
+		it.joined[id] = time.Now()
+	}
+	// Overlay re-resolution: each running neighbor adopts the joiner —
+	// address registered, gossip peer added.
+	for _, id := range a.Nodes {
+		addr := it.states[id].addr
+		for _, nb := range it.neighbors[id] {
+			nst := it.states[nb]
+			if nst == nil || nst.killed || nst.conn == nil || nb == id {
+				continue
+			}
+			_ = transport.WriteJSON(nst.conn, ctlMsg{Kind: ctlJoin, Joiner: id, JoinerAddr: addr})
+		}
+		it.logf("t+%dms: node %d joined (%s)", a.At, id, addr)
 	}
 	return nil
 }
 
 // foldResult folds the collected flip reports through qos.FoldFlips —
-// the orchestrator alone knows the ground-truth kill instants — and
-// checks the bound_ms assertions.
-func foldResult(spec scenario.LiveSpec, cfg Config, states map[int]*nodeState, reports map[int]*NodeReport, failures []string, degree int, elapsed time.Duration) *Result {
+// the orchestrator alone knows the ground-truth kill and join
+// instants — and checks the bound_ms assertions. A joiner's fold
+// window is clipped to its join epoch on both sides: as an observer
+// its report starts at its own birth, and as a target the window
+// opens at its join instant.
+func foldResult(rs runSpec, cfg Config, states map[int]*nodeState, reports map[int]*NodeReport, joinedWall map[int]time.Time, failures []string, degree int, elapsed time.Duration) *Result {
 	res := &Result{
-		Name:             spec.Name,
-		N:                spec.N,
-		Topology:         spec.Topology.Kind,
-		IntervalMs:       spec.IntervalMs,
-		SamplePeriodMs:   spec.SamplePeriodMs,
-		Fanout:           spec.Fanout,
+		Name:             rs.name,
+		N:                rs.n,
+		Topology:         rs.topo.Kind,
+		IntervalMs:       rs.live.IntervalMs,
+		SamplePeriodMs:   rs.live.SamplePeriodMs,
+		Fanout:           rs.live.Fanout,
 		ElapsedMs:        elapsed.Milliseconds(),
 		Reports:          len(reports),
 		OverlayDegree:    degree,
@@ -462,14 +772,21 @@ func foldResult(spec scenario.LiveSpec, cfg Config, states map[int]*nodeState, r
 		}
 	}
 
-	period := time.Duration(spec.SamplePeriodMs) * time.Millisecond
-	bound := time.Duration(spec.BoundMs) * time.Millisecond
+	period := time.Duration(rs.live.SamplePeriodMs) * time.Millisecond
+	bound := time.Duration(rs.live.BoundMs) * time.Millisecond
 	type killAgg struct {
 		observers, detected int
 		sum, max            time.Duration
 	}
 	killAggs := map[int]*killAgg{}
 	pauseAggs := map[int][]int{}
+	type joinAgg struct {
+		observers, known, inView int
+	}
+	joinAggs := map[int]*joinAgg{}
+	for id := range joinedWall {
+		joinAggs[id] = &joinAgg{}
+	}
 
 	observers := make([]int, 0, len(reports))
 	for id := range reports {
@@ -481,25 +798,60 @@ func foldResult(spec scenario.LiveSpec, cfg Config, states map[int]*nodeState, r
 		if rep.Destinations > res.MaxDistinctDestinations {
 			res.MaxDistinctDestinations = rep.Destinations
 		}
-		if spec.N <= model.MaxProcesses {
-			res.Views = append(res.Views, NodeView{Node: o, ViewID: rep.ViewID, Excluded: rep.Excluded})
+		res.Views = append(res.Views, NodeView{Node: o, ViewID: rep.ViewID, Excluded: rep.Excluded})
+		for _, fs := range rep.FaultStats {
+			res.FramesSent += fs.Frames
+			res.FramesDropped += fs.Drops
+		}
+		known := map[int]bool{}
+		for _, id := range rep.Known {
+			known[id] = true
+		}
+		inView := map[int]bool{}
+		for _, id := range rep.Members {
+			inView[id] = true
 		}
 		start := time.Unix(0, rep.StartUnixNano)
 		end := time.Unix(0, rep.EndUnixNano)
-		for q := 1; q <= spec.N; q++ {
+		for q := 1; q <= rs.n; q++ {
 			if q == o {
 				continue
 			}
 			st := states[q]
+			if st == nil {
+				continue // a joiner the run never reached
+			}
+			if agg := joinAggs[q]; agg != nil {
+				agg.observers++
+				if known[q] {
+					agg.known++
+				}
+				if inView[q] {
+					agg.inView++
+				}
+			}
+			// A joiner target's fold window opens at its join instant:
+			// verdicts about a node that did not exist yet are not
+			// accuracy evidence.
+			qStart := start
+			if jw, ok := joinedWall[q]; ok && jw.After(qStart) {
+				qStart = jw
+			}
+			if !qStart.Before(end) {
+				continue
+			}
 			flips := rep.Flips[q]
 			var crashAt time.Time
-			if st.killed && st.killedAt.After(start) && st.killedAt.Before(end) {
+			if st.killed && st.killedAt.After(qStart) && st.killedAt.Before(end) {
 				crashAt = st.killedAt
 			}
-			m := qos.FoldFlips(start, end, crashAt, flips, period)
+			m := qos.FoldFlips(qStart, end, crashAt, flips, period)
 			finalSuspected := len(flips) > 0 && flips[len(flips)-1].Suspected
 
 			if st.killed {
+				if crashAt.IsZero() {
+					continue // the target predeceased this observer's window
+				}
 				agg := killAggs[q]
 				if agg == nil {
 					agg = &killAgg{}
@@ -513,15 +865,15 @@ func foldResult(spec scenario.LiveSpec, cfg Config, states map[int]*nodeState, r
 						agg.max = m.DetectionTime
 					}
 				}
-				if spec.BoundMs > 0 && (!m.Detected || m.DetectionTime > bound) {
+				if rs.live.BoundMs > 0 && (!m.Detected || m.DetectionTime > bound) {
 					failures = append(failures, fmt.Sprintf(
-						"node %d did not suspect killed node %d within %v (detected=%v T_D=%v)",
+						"node %d did not suspect departed node %d within %v (detected=%v T_D=%v)",
 						o, q, bound, m.Detected, m.DetectionTime))
 				}
 			} else if st.pausedEver {
 				if finalSuspected {
 					pauseAggs[q] = append(pauseAggs[q], o)
-					if spec.BoundMs > 0 {
+					if rs.live.BoundMs > 0 {
 						failures = append(failures, fmt.Sprintf(
 							"node %d still suspects resumed node %d at collection", o, q))
 					}
@@ -560,7 +912,7 @@ func foldResult(spec scenario.LiveSpec, cfg Config, states map[int]*nodeState, r
 		agg := killAggs[q]
 		kr := KillReport{
 			Target:    q,
-			AtMs:      killAtMs(spec, q),
+			AtMs:      departAtMs(rs.plan, q),
 			Observers: agg.observers,
 			Detected:  agg.detected,
 		}
@@ -578,6 +930,32 @@ func foldResult(spec scenario.LiveSpec, cfg Config, states map[int]*nodeState, r
 	for _, q := range pauseIDs {
 		res.Pauses = append(res.Pauses, PauseReport{Target: q, SuspectedAtEndBy: pauseAggs[q]})
 	}
+	joinIDs := make([]int, 0, len(joinAggs))
+	for q := range joinAggs {
+		joinIDs = append(joinIDs, q)
+	}
+	sort.Ints(joinIDs)
+	for _, q := range joinIDs {
+		agg := joinAggs[q]
+		jr := JoinReport{
+			Target:    q,
+			AtMs:      joinAtMs(rs.plan, q),
+			Observers: agg.observers,
+			KnownBy:   agg.known,
+			InViewOf:  agg.inView,
+		}
+		if rs.live.BoundMs > 0 {
+			if jr.KnownBy < jr.Observers {
+				failures = append(failures, fmt.Sprintf(
+					"joiner %d absent from the gossip state of %d/%d survivors", q, jr.Observers-jr.KnownBy, jr.Observers))
+			}
+			if jr.InViewOf < jr.Observers {
+				failures = append(failures, fmt.Sprintf(
+					"joiner %d absent from the membership view of %d/%d survivors", q, jr.Observers-jr.InViewOf, jr.Observers))
+			}
+		}
+		res.Joins = append(res.Joins, jr)
+	}
 	if len(reports) == 0 {
 		res.MinQueryAccuracy = 0 // nothing observed, nothing vouched for
 	}
@@ -585,19 +963,23 @@ func foldResult(spec scenario.LiveSpec, cfg Config, states map[int]*nodeState, r
 	return res
 }
 
-// killAtMs finds the scheduled kill time of node q.
-func killAtMs(spec scenario.LiveSpec, q int) int64 {
-	for _, ev := range spec.Schedule {
-		if ev.Action != scenario.LiveKill {
-			continue
-		}
-		for _, id := range ev.Nodes {
-			if id == q {
-				return ev.AtMs
-			}
-		}
+// departAtMs finds the plan instant node q was killed or left.
+func departAtMs(plan *scenario.FaultPlan, q int) int64 {
+	if plan == nil {
+		return 0
 	}
-	return 0
+	if at, ok := plan.Kills[q]; ok {
+		return at
+	}
+	return plan.Leaves[q]
+}
+
+// joinAtMs finds the plan instant node q joined.
+func joinAtMs(plan *scenario.FaultPlan, q int) int64 {
+	if plan == nil {
+		return 0
+	}
+	return plan.Joins[q]
 }
 
 // acceptLoop accepts node control connections and reads each one's

@@ -40,6 +40,13 @@ type GossipConfig struct {
 	NewEstimator func() Estimator
 	// Seed drives the per-round fanout sampling.
 	Seed int64
+	// Deferred lists nodes absent at startup — mid-run joiners of a
+	// fault plan. A deferred node gets no estimator (and is never
+	// suspected, locally or by relayed accusation) until its first
+	// counter observation activates it; the estimator's epoch is the
+	// activation instant, so a joiner bootstraps with the same grace a
+	// cluster start gets.
+	Deferred []int
 }
 
 func (c GossipConfig) validate() error {
@@ -62,6 +69,11 @@ func (c GossipConfig) validate() error {
 	}
 	if c.NewEstimator == nil {
 		return fmt.Errorf("heartbeat: gossip needs an estimator factory")
+	}
+	for _, d := range c.Deferred {
+		if d < 1 || d > c.N {
+			return fmt.Errorf("heartbeat: gossip deferred node %d outside [1, %d]", d, c.N)
+		}
 	}
 	return nil
 }
@@ -90,6 +102,8 @@ type Gossiper struct {
 	accusedAt []uint64    // counter value the latest accusation was made at
 	accused   []bool      // whether any accusation was ever received
 	ests      []Estimator // per-peer estimators; nil at self
+	present   []bool      // false while a deferred joiner is unseen
+	peers     []int       // overlay neighbors; grows via AddPeer
 	rng       *rand.Rand
 	scratch   []int // fanout sampling buffer
 	sentTo    map[int]bool
@@ -116,15 +130,25 @@ func NewGossiper(tr transport.Transport, cfg GossipConfig) (*Gossiper, error) {
 		accusedAt: make([]uint64, cfg.N),
 		accused:   make([]bool, cfg.N),
 		ests:      make([]Estimator, cfg.N),
+		present:   make([]bool, cfg.N),
+		peers:     append([]int(nil), cfg.Peers...),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		sentTo:    map[int]bool{},
 		stop:      make(chan struct{}),
 		emitDone:  make(chan struct{}),
 		recvDone:  make(chan struct{}),
 	}
+	for i := range g.present {
+		g.present[i] = true
+	}
+	for _, d := range cfg.Deferred {
+		if d != cfg.Self {
+			g.present[d-1] = false
+		}
+	}
 	epoch := time.Now()
 	for q := 1; q <= cfg.N; q++ {
-		if q == cfg.Self {
+		if q == cfg.Self || !g.present[q-1] {
 			continue
 		}
 		est := cfg.NewEstimator()
@@ -194,12 +218,12 @@ func (g *Gossiper) round(now time.Time) {
 
 // pickDestsLocked selects this round's gossip destinations.
 func (g *Gossiper) pickDestsLocked() []int {
-	peers := g.cfg.Peers
+	peers := g.peers
 	k := g.cfg.Fanout
 	if k <= 0 || k >= len(peers) {
 		return peers
 	}
-	if g.scratch == nil {
+	if len(g.scratch) != len(peers) {
 		g.scratch = make([]int, len(peers))
 	}
 	copy(g.scratch, peers)
@@ -246,11 +270,24 @@ func (g *Gossiper) merge(pb Piggyback, now time.Time) {
 	for i := range g.counters {
 		if pb.Counters[i] > g.counters[i] {
 			g.counters[i] = pb.Counters[i]
+			if !g.present[i] {
+				// First sighting of a deferred joiner: activate it with
+				// an estimator whose epoch is now, the same bootstrap
+				// grace a cluster start gets.
+				g.present[i] = true
+				if i+1 != g.cfg.Self {
+					est := g.cfg.NewEstimator()
+					if es, ok := est.(EpochSetter); ok {
+						es.SetEpoch(now)
+					}
+					g.ests[i] = est
+				}
+			}
 			if est := g.ests[i]; est != nil {
 				est.Observe(now)
 			}
 		}
-		if pb.Suspects[i] && i+1 != g.cfg.Self && pb.Origin != i+1 {
+		if pb.Suspects[i] && g.present[i] && i+1 != g.cfg.Self && pb.Origin != i+1 {
 			if !g.accused[i] || pb.Counters[i] > g.accusedAt[i] {
 				g.accused[i] = true
 				g.accusedAt[i] = pb.Counters[i]
@@ -300,8 +337,8 @@ func (g *Gossiper) CommunitySuspects() []int {
 	defer g.mu.Unlock()
 	var out []int
 	for i := range g.counters {
-		if i+1 == g.cfg.Self {
-			continue
+		if i+1 == g.cfg.Self || !g.present[i] {
+			continue // an unseen joiner is absent, not suspect
 		}
 		local := g.ests[i] != nil && g.ests[i].Suspect(now)
 		remote := g.accused[i] && g.accusedAt[i] >= g.counters[i]
@@ -310,6 +347,38 @@ func (g *Gossiper) CommunitySuspects() []int {
 		}
 	}
 	return out
+}
+
+// Known returns the IDs this node considers part of the group: every
+// initially-present node plus each deferred joiner whose counters have
+// been observed. The membership feed admits joiners from this view.
+func (g *Gossiper) Known() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []int
+	for i, p := range g.present {
+		if p {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// AddPeer adds an overlay neighbor at runtime — the overlay
+// re-resolution that makes a mid-run joiner reachable. Adding an
+// existing peer (or self) is a no-op.
+func (g *Gossiper) AddPeer(id int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id < 1 || id > g.cfg.N || id == g.cfg.Self {
+		return
+	}
+	for _, p := range g.peers {
+		if p == id {
+			return
+		}
+	}
+	g.peers = append(g.peers, id)
 }
 
 // Counter returns the freshest-known heartbeat counter for node q.

@@ -285,3 +285,142 @@ func TestGossipAccusationExpiry(t *testing.T) {
 		}
 	}
 }
+
+// TestGossipMidRunJoin pins the churn axis at the gossip layer: a
+// deferred node is never suspected while absent, its neighbors learn of
+// it within bounded rounds of its first heartbeat (counter bootstrap +
+// AddPeer overlay re-resolution), and it converges into every node's
+// Known view.
+func TestGossipMidRunJoin(t *testing.T) {
+	const n = 8
+	const joiner = 8
+	const interval = 10 * time.Millisecond
+	net, err := transport.NewChanNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gossipers := make([]*Gossiper, n+1)
+	for p := 1; p < joiner; p++ {
+		peers := make([]int, 0, 4)
+		for _, q := range chordPeers(p, n) {
+			if q != joiner {
+				peers = append(peers, q) // the joiner is not wired in yet
+			}
+		}
+		g, err := NewGossiper(net.Node(model.ProcessID(p)), GossipConfig{
+			Self:         p,
+			N:            n,
+			Peers:        peers,
+			Interval:     interval,
+			Seed:         int64(p),
+			NewEstimator: func() Estimator { return &FixedTimeout{Timeout: 12 * interval} },
+			Deferred:     []int{joiner},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gossipers[p] = g
+	}
+	defer func() {
+		for p := 1; p <= n; p++ {
+			if gossipers[p] != nil {
+				gossipers[p].SetMuted(true)
+			}
+		}
+		for p := 1; p <= n; p++ {
+			if gossipers[p] != nil {
+				gossipers[p].Close()
+			}
+		}
+	}()
+
+	waitFor := func(desc string, deadline time.Duration, cond func() bool) {
+		t.Helper()
+		limit := time.After(deadline)
+		for {
+			if cond() {
+				return
+			}
+			select {
+			case <-limit:
+				t.Fatalf("timed out waiting for %s", desc)
+			case <-time.After(interval):
+			}
+		}
+	}
+
+	// Let the initial group converge, then check the absent joiner is
+	// neither suspected nor known.
+	waitFor("initial group convergence", 5*time.Second, func() bool {
+		for p := 1; p < joiner; p++ {
+			for q := 1; q < joiner; q++ {
+				if p != q && gossipers[p].Counter(q) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	for p := 1; p < joiner; p++ {
+		for _, s := range gossipers[p].CommunitySuspects() {
+			if s == joiner {
+				t.Fatalf("node %d suspects the not-yet-joined node", p)
+			}
+		}
+		if len(gossipers[p].Known()) != n-1 {
+			t.Fatalf("node %d knows %v before the join", p, gossipers[p].Known())
+		}
+	}
+
+	// Join: spawn the deferred node's gossiper and re-resolve the
+	// overlay on both sides.
+	g, err := NewGossiper(net.Node(model.ProcessID(joiner)), GossipConfig{
+		Self:         joiner,
+		N:            n,
+		Peers:        chordPeers(joiner, n),
+		Interval:     interval,
+		Seed:         int64(joiner),
+		NewEstimator: func() Estimator { return &FixedTimeout{Timeout: 12 * interval} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gossipers[joiner] = g
+	for _, q := range chordPeers(joiner, n) {
+		gossipers[q].AddPeer(joiner)
+	}
+
+	// Convergence: within bounded gossip rounds the joiner's counters
+	// reach everyone (and vice versa), and Known grows everywhere. 200
+	// intervals is ≫ the overlay diameter.
+	waitFor("joiner to appear in every counter vector", 200*interval, func() bool {
+		for p := 1; p < joiner; p++ {
+			if gossipers[p].Counter(joiner) == 0 {
+				return false
+			}
+			if len(gossipers[p].Known()) != n {
+				return false
+			}
+		}
+		return true
+	})
+	waitFor("joiner to learn the whole group", 200*interval, func() bool {
+		for q := 1; q < joiner; q++ {
+			if gossipers[joiner].Counter(q) == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	// Steady state: nobody suspects the joiner once admitted.
+	waitFor("no suspicion of the joiner", 5*time.Second, func() bool {
+		for p := 1; p < joiner; p++ {
+			for _, s := range gossipers[p].CommunitySuspects() {
+				if s == joiner {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}

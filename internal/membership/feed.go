@@ -2,6 +2,7 @@ package membership
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"realisticfd/internal/model"
@@ -12,79 +13,172 @@ import (
 // shared transport, the Feed consumes suspicion snapshots the gossip
 // layer has already disseminated (every node converges on the same
 // community suspicion, so the protocol's agreement round is implicit)
-// and turns them into the same shrink-only View vocabulary.
+// and turns them into the same View vocabulary.
 //
 // The primary-partition quorum rule still applies: the feed freezes
-// rather than shrink the view below ⌈(n+1)/2⌉ members, so a node on
-// the minority side of a partition keeps its last safe view instead of
-// excluding the majority. Views only shrink; a healed suspicion
-// (paused-then-resumed node) arriving after exclusion does not
-// resurrect the member — exactly the §1.3 emulation: the exclusion
-// made the suspicion accurate after the fact.
+// rather than shrink the view below ⌈(size+1)/2⌉ members (size = all
+// nodes ever admitted to the group), so a node on the minority side of
+// a partition keeps its last safe view instead of excluding the
+// majority. A healed suspicion (paused-then-resumed node) arriving
+// after exclusion does not resurrect the member — exactly the §1.3
+// emulation: the exclusion made the suspicion accurate after the fact.
 //
-// Bounded by model.ProcessSet to 64 processes: the live cluster
-// enables the feed only at sizes the simulator's set representation
-// covers, which keeps live small-cluster runs comparable with E-table
-// rows. Larger clusters run detection-only.
+// Views shrink on exclusion and, unlike the shrink-only original, grow
+// on Admit — the churn axis of the fault plan: a mid-run joiner that
+// the gossip layer has observed (Gossiper.Known) is admitted into the
+// next view. Membership is a sparse set, not a model.ProcessSet
+// bitmap, so the feed works at any cluster size — the former silent
+// n ≤ 64 cap is gone (regression-tested at n = 65).
 type Feed struct {
-	mu      sync.Mutex
-	self    model.ProcessID
-	n       int
-	view    View
-	history []View
+	mu       sync.Mutex
+	self     int
+	size     int // everyone ever in the group, current or excluded
+	members  map[int]bool
+	excluded map[int]bool
+	view     FeedView
+	history  []FeedView
 }
 
-// NewFeed starts in view 0 with all n members.
+// FeedView is one membership epoch of a Feed: like View, but over a
+// sparse member list so it scales past the 64-process bitmap.
+type FeedView struct {
+	// ID increases by one per installed view.
+	ID int
+	// Members is the current group, sorted ascending.
+	Members []int
+}
+
+// Has reports whether id is a member of the view.
+func (v FeedView) Has(id int) bool {
+	i := sort.SearchInts(v.Members, id)
+	return i < len(v.Members) && v.Members[i] == id
+}
+
+// NewFeed starts in view 0 with all n members 1..n. Any n ≥ 2 is
+// accepted — live clusters are not bound by the simulator's 64-process
+// set representation.
 func NewFeed(self model.ProcessID, n int) (*Feed, error) {
-	if err := model.ValidateN(n); err != nil {
-		return nil, err
+	if n < 2 {
+		return nil, fmt.Errorf("membership: feed n = %d must be ≥ 2", n)
 	}
 	if self < 1 || int(self) > n {
 		return nil, fmt.Errorf("membership: feed self %v outside [1, %d]", self, n)
 	}
-	return &Feed{
-		self: self,
-		n:    n,
-		view: View{ID: 0, Issuer: 0, Members: model.AllProcesses(n)},
-	}, nil
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i + 1
+	}
+	return NewFeedMembers(int(self), members)
+}
+
+// NewFeedMembers starts in view 0 with an explicit initial member set
+// — the constructor for groups whose fault plan defers some nodes to a
+// mid-run join. Self must be an initial member.
+func NewFeedMembers(self int, members []int) (*Feed, error) {
+	if len(members) < 2 {
+		return nil, fmt.Errorf("membership: feed needs ≥ 2 initial members, got %d", len(members))
+	}
+	f := &Feed{
+		self:     self,
+		members:  make(map[int]bool, len(members)),
+		excluded: map[int]bool{},
+	}
+	for _, id := range members {
+		if id < 1 {
+			return nil, fmt.Errorf("membership: feed member %d must be ≥ 1", id)
+		}
+		if f.members[id] {
+			return nil, fmt.Errorf("membership: feed member %d listed twice", id)
+		}
+		f.members[id] = true
+	}
+	if !f.members[self] {
+		return nil, fmt.Errorf("membership: feed self %d not an initial member", self)
+	}
+	f.size = len(f.members)
+	f.view = FeedView{ID: 0, Members: f.sortedLocked()}
+	return f, nil
+}
+
+func (f *Feed) sortedLocked() []int {
+	out := make([]int, 0, len(f.members))
+	for id := range f.members {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (f *Feed) installLocked() FeedView {
+	f.view = FeedView{ID: f.view.ID + 1, Members: f.sortedLocked()}
+	f.history = append(f.history, f.view)
+	return f.view
 }
 
 // Update folds one suspicion snapshot into the view. It returns the
 // current view and whether a new one was installed. Self-suspicions
 // are ignored — a node does not excommunicate itself on rumor alone.
-func (f *Feed) Update(suspects model.ProcessSet) (View, bool) {
+func (f *Feed) Update(suspects []int) (FeedView, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	toDrop := f.view.Members.Intersect(suspects).Remove(f.self)
-	if toDrop.IsEmpty() {
+	var toDrop []int
+	for _, id := range suspects {
+		if id != f.self && f.members[id] {
+			toDrop = append(toDrop, id)
+		}
+	}
+	if len(toDrop) == 0 {
 		return f.view, false
 	}
-	survivors := f.view.Members.Diff(toDrop)
-	if survivors.Len() < f.n/2+1 {
+	if len(f.members)-len(toDrop) < f.size/2+1 {
 		return f.view, false // minority side: freeze, no split-brain
 	}
-	f.view = View{ID: f.view.ID + 1, Issuer: f.self, Members: survivors}
-	f.history = append(f.history, f.view)
-	return f.view, true
+	for _, id := range toDrop {
+		delete(f.members, id)
+		f.excluded[id] = true
+	}
+	return f.installLocked(), true
+}
+
+// Admit grows the view by one joined node and returns the current view
+// and whether a new one was installed. Admitting a current member is a
+// no-op; so is re-admitting an excluded one — an exclusion is forever
+// (the §1.3 emulation made that suspicion accurate), a rejoining
+// process must take a fresh identity.
+func (f *Feed) Admit(id int) (FeedView, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id < 1 || f.members[id] || f.excluded[id] {
+		return f.view, false
+	}
+	f.members[id] = true
+	f.size++
+	return f.installLocked(), true
 }
 
 // View returns the current view.
-func (f *Feed) View() View {
+func (f *Feed) View() FeedView {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.view
 }
 
-// Excluded returns the emulated output(P): everyone excluded so far.
-func (f *Feed) Excluded() model.ProcessSet {
+// Excluded returns the emulated output(P): everyone excluded so far,
+// sorted ascending.
+func (f *Feed) Excluded() []int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return model.AllProcesses(f.n).Diff(f.view.Members)
+	out := make([]int, 0, len(f.excluded))
+	for id := range f.excluded {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // History returns the installed views in order (view 0 excluded).
-func (f *Feed) History() []View {
+func (f *Feed) History() []FeedView {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return append([]View(nil), f.history...)
+	return append([]FeedView(nil), f.history...)
 }

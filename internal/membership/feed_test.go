@@ -2,8 +2,6 @@ package membership
 
 import (
 	"testing"
-
-	"realisticfd/internal/model"
 )
 
 func TestFeedMonotoneShrink(t *testing.T) {
@@ -11,28 +9,28 @@ func TestFeedMonotoneShrink(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := f.View(); got.ID != 0 || got.Members.Len() != 8 {
+	if got := f.View(); got.ID != 0 || len(got.Members) != 8 {
 		t.Fatalf("initial view %v", got)
 	}
 
-	v, changed := f.Update(model.NewProcessSet(3))
-	if !changed || v.ID != 1 || v.Members.Has(3) {
+	v, changed := f.Update([]int{3})
+	if !changed || v.ID != 1 || v.Has(3) {
 		t.Fatalf("first exclusion: changed=%v view=%v", changed, v)
 	}
 	// Same suspicion again: no new view.
-	if _, changed := f.Update(model.NewProcessSet(3)); changed {
+	if _, changed := f.Update([]int{3}); changed {
 		t.Fatal("re-reporting an excluded member issued a view")
 	}
 	// A healed suspicion does not resurrect: 3 stays out even when the
 	// snapshot no longer suspects it.
-	if _, changed := f.Update(model.NewProcessSet(5)); !changed {
+	if _, changed := f.Update([]int{5}); !changed {
 		t.Fatal("new suspicion did not issue a view")
 	}
 	v = f.View()
-	if v.ID != 2 || v.Members.Has(3) || v.Members.Has(5) {
+	if v.ID != 2 || v.Has(3) || v.Has(5) {
 		t.Fatalf("after two exclusions: %v", v)
 	}
-	if got := f.Excluded(); !got.Has(3) || !got.Has(5) || got.Len() != 2 {
+	if got := f.Excluded(); len(got) != 2 || got[0] != 3 || got[1] != 5 {
 		t.Fatalf("Excluded() = %v", got)
 	}
 	if h := f.History(); len(h) != 2 || h[0].ID != 1 || h[1].ID != 2 {
@@ -46,14 +44,14 @@ func TestFeedQuorumFreeze(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Suspecting 3 of 5 would leave 2 < 3: freeze.
-	if _, changed := f.Update(model.NewProcessSet(2, 3, 4)); changed {
+	if _, changed := f.Update([]int{2, 3, 4}); changed {
 		t.Fatal("minority view was installed")
 	}
 	if got := f.View(); got.ID != 0 {
 		t.Fatalf("view advanced to %v on a frozen feed", got)
 	}
 	// Suspecting 2 of 5 leaves exactly the quorum: allowed.
-	if _, changed := f.Update(model.NewProcessSet(2, 3)); !changed {
+	if _, changed := f.Update([]int{2, 3}); !changed {
 		t.Fatal("quorum-preserving exclusion was refused")
 	}
 }
@@ -63,20 +61,86 @@ func TestFeedIgnoresSelfSuspicion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, changed := f.Update(model.NewProcessSet(2)); changed {
+	if _, changed := f.Update([]int{2}); changed {
 		t.Fatal("feed excluded itself")
 	}
-	v, changed := f.Update(model.NewProcessSet(2, 4))
-	if !changed || !v.Members.Has(2) || v.Members.Has(4) {
+	v, changed := f.Update([]int{2, 4})
+	if !changed || !v.Has(2) || v.Has(4) {
 		t.Fatalf("self filtered incorrectly: %v", v)
 	}
 }
 
 func TestFeedValidation(t *testing.T) {
-	if _, err := NewFeed(1, model.MaxProcesses+1); err == nil {
-		t.Fatal("oversized n accepted")
-	}
 	if _, err := NewFeed(9, 8); err == nil {
 		t.Fatal("self outside the group accepted")
+	}
+	if _, err := NewFeed(1, 1); err == nil {
+		t.Fatal("single-member group accepted")
+	}
+	if _, err := NewFeedMembers(3, []int{1, 2}); err == nil {
+		t.Fatal("self not in the member list accepted")
+	}
+	if _, err := NewFeedMembers(1, []int{1, 1}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+// TestFeedAboveSixtyFour is the regression for the former silent
+// n ≤ 64 cap: the feed must work — not quietly misbehave, not error —
+// at sizes past the simulator's ProcessSet bitmap.
+func TestFeedAboveSixtyFour(t *testing.T) {
+	const n = 65
+	f, err := NewFeed(1, n)
+	if err != nil {
+		t.Fatalf("n = %d rejected: %v", n, err)
+	}
+	if got := f.View(); len(got.Members) != n || !got.Has(65) {
+		t.Fatalf("initial view at n=%d: %v", n, got)
+	}
+	v, changed := f.Update([]int{65})
+	if !changed || v.Has(65) || len(v.Members) != n-1 {
+		t.Fatalf("exclusion of node 65: changed=%v view=%v", changed, v)
+	}
+	if got := f.Excluded(); len(got) != 1 || got[0] != 65 {
+		t.Fatalf("Excluded() = %v", got)
+	}
+}
+
+// TestFeedAdmitGrowsView pins the churn axis: a mid-run joiner grows
+// the view, the quorum tracks the grown group, and neither a current
+// member nor an excluded one can be (re-)admitted.
+func TestFeedAdmitGrowsView(t *testing.T) {
+	f, err := NewFeedMembers(1, []int{1, 2, 3, 4, 5}) // node 6 joins later
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, changed := f.Admit(6)
+	if !changed || v.ID != 1 || !v.Has(6) || len(v.Members) != 6 {
+		t.Fatalf("admission: changed=%v view=%v", changed, v)
+	}
+	// Admitting a member again is a no-op.
+	if _, changed := f.Admit(6); changed {
+		t.Fatal("double admission issued a view")
+	}
+	// The grown group's quorum is 6/2+1 = 4: excluding three of six
+	// would leave 3 < 4, freeze; excluding two is allowed.
+	if _, changed := f.Update([]int{2, 3, 4}); changed {
+		t.Fatal("sub-quorum exclusion installed after growth")
+	}
+	v, changed = f.Update([]int{2, 3})
+	if !changed || v.ID != 2 || len(v.Members) != 4 {
+		t.Fatalf("post-growth exclusion: changed=%v view=%v", changed, v)
+	}
+	// An excluded node stays out — a rejoin needs a fresh identity.
+	if _, changed := f.Admit(2); changed {
+		t.Fatal("excluded member re-admitted")
+	}
+	// Views interleave shrink and growth in one monotone history.
+	if _, changed := f.Admit(7); !changed {
+		t.Fatal("second joiner refused")
+	}
+	h := f.History()
+	if len(h) != 3 || h[0].ID != 1 || h[2].ID != 3 || !h[2].Has(7) || h[2].Has(2) {
+		t.Fatalf("history %v", h)
 	}
 }

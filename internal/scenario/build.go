@@ -33,7 +33,25 @@ func (s Spec) Build() (harness.Scenario, error) {
 		Horizon:      model.Time(s.Horizon),
 	}
 
+	plan, err := s.CompilePlan()
+	if err != nil {
+		return harness.Scenario{}, err
+	}
+
 	crashes := s.Crashes
+	if !plan.Empty() {
+		// Plan kills and leaves are crashes in the simulator's
+		// crash-stop model; iterate the timeline (not the index maps)
+		// so the pattern order is deterministic.
+		crashes = append([]CrashSpec(nil), s.Crashes...)
+		for _, a := range plan.Actions {
+			if a.Kind == ActKill || a.Kind == ActLeave {
+				for _, id := range a.Nodes {
+					crashes = append(crashes, CrashSpec{Process: id, At: a.At})
+				}
+			}
+		}
+	}
 	n := s.N
 	sc.Pattern = func() *model.FailurePattern {
 		pat := model.MustPattern(n)
@@ -102,7 +120,7 @@ func (s Spec) Build() (harness.Scenario, error) {
 		}
 	}
 
-	faults, err := s.buildFaults()
+	faults, err := s.buildFaults(plan)
 	if err != nil {
 		return harness.Scenario{}, err
 	}
@@ -151,9 +169,13 @@ func MustBuild(s Spec) harness.Scenario {
 // buildFaults compiles the fault plan against the generated topology:
 // side partitions become cuts of the crossing edges, explicit cuts are
 // taken as given (Validate already checked they exist), and a sparse
-// topology contributes one permanent cut of every non-edge. Returns
-// nil when nothing perturbs the network.
-func (s Spec) buildFaults() (*sim.LinkFaults, error) {
+// topology contributes one permanent cut of every non-edge. A /v3
+// FaultPlan lowers onto the same machinery: timed drop/delay actions
+// become piecewise-constant RateStep/DelayStep timelines, cut/heal
+// pairs become EdgeCuts, pause/resume isolate a node's incident edges
+// for the window, and a joiner is link-isolated from tick 0 until its
+// join instant. Returns nil when nothing perturbs the network.
+func (s Spec) buildFaults(plan *FaultPlan) (*sim.LinkFaults, error) {
 	edges, err := s.Topology.Edges(s.N)
 	if err != nil {
 		return nil, err
@@ -192,10 +214,155 @@ func (s Spec) buildFaults() (*sim.LinkFaults, error) {
 		// Until reaches past the horizon so the cut never heals.
 		lf.Cuts = append(lf.Cuts, sim.EdgeCut{Edges: missing, From: 0, Until: model.Time(s.Horizon) + 1})
 	}
+	if !plan.Empty() {
+		s.lowerPlan(plan, edges, &lf)
+	}
 	if !lf.Active() {
 		return nil, nil
 	}
 	return &lf, nil
+}
+
+// lowerPlan folds a compiled FaultPlan into the link-fault set. The
+// churn approximations are deliberate: a paused node is modeled as
+// total link isolation for the window (its local steps continue, but
+// the detector-visible silence is what QoS measures), and a joiner
+// exists from tick 0 but is isolated until its join instant —
+// "partitioned from birth, healing at the join".
+func (s Spec) lowerPlan(plan *FaultPlan, edges []sim.Edge, lf *sim.LinkFaults) {
+	never := model.Time(s.Horizon) + 1
+	type interval struct {
+		edge  sim.Edge
+		from  model.Time
+		until model.Time
+	}
+	var spans []interval
+
+	// cut/heal pairing: each severed edge stays down until the first
+	// heal that names it (or a bare heal), else past the horizon.
+	cutStart := map[sim.Edge]model.Time{}
+	var activeOrder []sim.Edge
+	dropEdge := func(e sim.Edge, until model.Time) {
+		spans = append(spans, interval{edge: e, from: cutStart[e], until: until})
+		delete(cutStart, e)
+		for i, a := range activeOrder {
+			if a == e {
+				activeOrder = append(activeOrder[:i], activeOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, a := range plan.Actions {
+		switch a.Kind {
+		case ActDrop:
+			lf.DropSteps = append(lf.DropSteps, sim.RateStep{From: model.Time(a.At), Pct: a.Pct})
+		case ActDelay:
+			lf.DelaySteps = append(lf.DelaySteps, sim.DelayStep{From: model.Time(a.At), Max: model.Time(a.Bound)})
+		case ActCut:
+			for _, e := range a.Edges {
+				edge := sim.Edge{A: model.ProcessID(e[0]), B: model.ProcessID(e[1])}
+				if _, active := cutStart[edge]; !active {
+					cutStart[edge] = model.Time(a.At)
+					activeOrder = append(activeOrder, edge)
+				}
+			}
+		case ActHeal:
+			if a.Edges == nil {
+				for len(activeOrder) > 0 {
+					dropEdge(activeOrder[0], model.Time(a.At))
+				}
+				continue
+			}
+			for _, e := range a.Edges {
+				edge := sim.Edge{A: model.ProcessID(e[0]), B: model.ProcessID(e[1])}
+				if _, active := cutStart[edge]; active {
+					dropEdge(edge, model.Time(a.At))
+				}
+			}
+		}
+	}
+	for len(activeOrder) > 0 {
+		dropEdge(activeOrder[0], never)
+	}
+
+	// pause/resume: isolate the node's incident edges for the window.
+	incident := func(id int) []sim.Edge {
+		var out []sim.Edge
+		p := model.ProcessID(id)
+		for _, e := range edges {
+			if e.A == p || e.B == p {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	pausedAt := map[int]model.Time{}
+	var pausedOrder []int
+	for _, a := range plan.Actions {
+		switch a.Kind {
+		case ActPause:
+			for _, id := range a.Nodes {
+				if _, ok := pausedAt[id]; !ok {
+					pausedAt[id] = model.Time(a.At)
+					pausedOrder = append(pausedOrder, id)
+				}
+			}
+		case ActResume:
+			for _, id := range a.Nodes {
+				from, ok := pausedAt[id]
+				if !ok {
+					continue
+				}
+				for _, e := range incident(id) {
+					spans = append(spans, interval{edge: e, from: from, until: model.Time(a.At)})
+				}
+				delete(pausedAt, id)
+				for i, p := range pausedOrder {
+					if p == id {
+						pausedOrder = append(pausedOrder[:i], pausedOrder[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+	for _, id := range pausedOrder {
+		for _, e := range incident(id) {
+			spans = append(spans, interval{edge: e, from: pausedAt[id], until: never})
+		}
+	}
+
+	// join: birth isolation [0, joinAt) of the joiner's incident edges.
+	for _, a := range plan.Actions {
+		if a.Kind != ActJoin {
+			continue
+		}
+		for _, id := range a.Nodes {
+			if a.At == 0 {
+				continue // joining at tick 0 is just being present
+			}
+			for _, e := range incident(id) {
+				spans = append(spans, interval{edge: e, from: 0, until: model.Time(a.At)})
+			}
+		}
+	}
+
+	// Group same-window spans into one EdgeCut each, in emission order.
+	type window struct{ from, until model.Time }
+	cutIdx := map[window]int{}
+	for _, sp := range spans {
+		if sp.until <= sp.from {
+			continue
+		}
+		w := window{from: sp.from, until: sp.until}
+		i, ok := cutIdx[w]
+		if !ok {
+			i = len(lf.Cuts)
+			cutIdx[w] = i
+			lf.Cuts = append(lf.Cuts, sim.EdgeCut{From: w.from, Until: w.until})
+		}
+		lf.Cuts[i].Edges = append(lf.Cuts[i].Edges, sp.edge)
+	}
 }
 
 // missingEdges returns the complement of the topology's edge set: the

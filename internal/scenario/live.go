@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -262,6 +264,20 @@ func (s LiveSpec) ResolveEdges(ev LiveEventSpec) ([][2]int, error) {
 		}
 	}
 	return out, nil
+}
+
+// ConfigDigest returns "sha256:<hex>" over the normalized live spec's
+// canonical encoding — the identity cmd/fdorch records in result JSON
+// and checks before treating an existing output file as a completed
+// rerun, so a renamed-but-changed plan can't be mistaken for one.
+func (s LiveSpec) ConfigDigest() (string, error) {
+	s.Normalize()
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("live scenario: encode: %w", err)
+	}
+	sum := sha256.Sum256(append(data, '\n'))
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
 }
 
 // ParseLive decodes one live spec strictly (unknown fields rejected),

@@ -1,0 +1,451 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ActionKind names one verb of the fault-plan IR. The same nine verbs
+// drive both backends: the simulator lowers them onto LinkFaults /
+// EdgeCut / FailurePattern machinery, the live cluster interprets them
+// against real processes and sockets (DESIGN.md §11).
+type ActionKind string
+
+const (
+	// ActCut severs an edge set from this instant on (until healed).
+	ActCut ActionKind = "cut"
+	// ActHeal reverses cuts: the named edges, or every active cut.
+	ActHeal ActionKind = "heal"
+	// ActDrop sets the message-loss rate (percent) from this instant on.
+	ActDrop ActionKind = "drop"
+	// ActDelay sets the per-message extra-latency bound from this
+	// instant on.
+	ActDelay ActionKind = "delay"
+	// ActKill crashes nodes (SIGKILL live, pattern crash in the sim).
+	ActKill ActionKind = "kill"
+	// ActPause freezes nodes (SIGSTOP live; total link isolation in
+	// the sim, which captures the detector-visible silence).
+	ActPause ActionKind = "pause"
+	// ActResume unfreezes paused nodes (SIGCONT).
+	ActResume ActionKind = "resume"
+	// ActLeave makes nodes depart for good: a clean exit live, a
+	// crash in the sim's crash-stop model.
+	ActLeave ActionKind = "leave"
+	// ActJoin brings nodes into the group mid-run: a real process
+	// spawn live; in the sim the node exists from the start but is
+	// link-isolated until its join instant.
+	ActJoin ActionKind = "join"
+)
+
+// PlanAction is one resolved step of a fault-plan timeline. At is in
+// plan ticks: the simulator reads them as engine ticks, the live
+// interpreter as milliseconds after warmup — the unit mapping that
+// lets one spec drive both backends.
+type PlanAction struct {
+	At    int64
+	Kind  ActionKind
+	Nodes []int    // kill/pause/resume/leave/join targets
+	Edges [][2]int // cut/heal, canonical a<b, resolved; nil on a bare heal (= all active cuts)
+	Pct   int      // drop: loss percentage from At on
+	Bound int64    // delay: extra-latency bound from At on
+}
+
+// FaultPlan is the shared fault-injection IR: a validated, time-sorted
+// timeline of typed actions over resolved overlay edges and nodes.
+// Both backends consume exactly this — internal/sim lowers it onto the
+// LinkFaults machinery, internal/cluster interprets it against live
+// processes — so a checked-in spec runs the identical experiment in
+// simulation and on a real cluster.
+type FaultPlan struct {
+	// N is the system size the node IDs were validated against.
+	N int
+	// Horizon bounds the timeline (plan ticks).
+	Horizon int64
+	// Actions is the timeline, sorted by At (stable).
+	Actions []PlanAction
+	// Joins maps each mid-run joiner to its join instant.
+	Joins map[int]int64
+	// Leaves maps each departing node to its leave instant.
+	Leaves map[int]int64
+	// Kills maps each killed node to its kill instant.
+	Kills map[int]int64
+}
+
+// Empty reports whether the plan perturbs nothing.
+func (p *FaultPlan) Empty() bool { return p == nil || len(p.Actions) == 0 }
+
+// Joiner reports whether node id joins mid-run rather than being
+// present from the start.
+func (p *FaultPlan) Joiner(id int) bool {
+	if p == nil {
+		return false
+	}
+	_, ok := p.Joins[id]
+	return ok
+}
+
+// ActionSpec is the declarative JSON form of one PlanAction, before
+// edge resolution. Kill/pause/resume/leave/join name Nodes; cut gives
+// exactly one of Side (a node-set boundary — every overlay edge
+// crossing it is severed) and Cut (explicit edges, validated against
+// the overlay); heal takes side/cut or nothing (= all active cuts);
+// drop carries Pct, delay carries Bound.
+type ActionSpec struct {
+	At     int64    `json:"at"`
+	Action string   `json:"action"`
+	Nodes  []int    `json:"nodes,omitempty"`
+	Side   []int    `json:"side,omitempty"`
+	Cut    [][2]int `json:"cut,omitempty"`
+	Pct    int      `json:"pct,omitempty"`
+	Bound  int64    `json:"bound,omitempty"`
+}
+
+// LiveParams are the live-only knobs of a /v3 spec: everything the
+// cluster backend needs beyond what the simulator shares. Zero values
+// take the same defaults as LiveSpec.Normalize.
+type LiveParams struct {
+	IntervalMs     int               `json:"interval_ms,omitempty"`
+	SamplePeriodMs int               `json:"sample_period_ms,omitempty"`
+	Fanout         int               `json:"fanout,omitempty"`
+	Estimator      LiveEstimatorSpec `json:"estimator,omitzero"`
+	WarmupMs       int               `json:"warmup_ms,omitempty"`
+	SettleMs       int               `json:"settle_ms,omitempty"`
+	BoundMs        int               `json:"bound_ms,omitempty"`
+}
+
+// Normalize spells out the LiveParams defaults (shared with
+// LiveSpec.Normalize so both entry points agree).
+func (lp *LiveParams) Normalize() {
+	if lp.IntervalMs == 0 {
+		lp.IntervalMs = 50
+	}
+	if lp.SamplePeriodMs == 0 {
+		lp.SamplePeriodMs = lp.IntervalMs
+	}
+	if lp.Estimator.Kind == "" {
+		lp.Estimator.Kind = LiveEstPhi
+	}
+	if lp.WarmupMs == 0 {
+		lp.WarmupMs = 1000
+	}
+	if lp.SettleMs == 0 {
+		lp.SettleMs = 2000
+	}
+}
+
+// validatePlan checks every constraint of the declarative plan: field
+// shape per kind, node and edge ranges against the topology, and the
+// time-ordered semantics (no double kill, resume pairs with pause, a
+// joiner is inert before its join, ...). Crashes from the v2 fields
+// are folded into the semantic walk so a spec cannot crash a node
+// twice across the two vocabularies.
+func (s Spec) validatePlan(edges map[edgeKey]bool) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: plan: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	ordered := make([]int, len(s.Plan))
+	for i := range ordered {
+		ordered[i] = i
+	}
+	sort.SliceStable(ordered, func(a, b int) bool { return s.Plan[ordered[a]].At < s.Plan[ordered[b]].At })
+
+	joinAt := map[int]int64{}
+	for _, i := range ordered {
+		a := s.Plan[i]
+		if a.Kind() == ActJoin {
+			for _, id := range a.Nodes {
+				if _, dup := joinAt[id]; dup {
+					return fail("action[%d]: node %d joins twice", i, id)
+				}
+				joinAt[id] = a.At
+			}
+		}
+	}
+
+	dead := map[int]bool{} // killed or left
+	paused := map[int]bool{}
+	joined := map[int]bool{}
+	for _, c := range s.Crashes {
+		// v2 crashes and plan kills share the crash budget; the walk
+		// below rejects a plan kill of an already-crashing process.
+		dead[c.Process] = true
+		if at, ok := joinAt[c.Process]; ok {
+			return fail("node %d both joins at %d and crashes via the crashes field", c.Process, at)
+		}
+	}
+
+	for _, i := range ordered {
+		a := s.Plan[i]
+		if a.At < 0 {
+			return fail("action[%d]: at = %d must be non-negative", i, a.At)
+		}
+		if a.At > s.Horizon {
+			return fail("action[%d]: at = %d beyond the horizon %d", i, a.At, s.Horizon)
+		}
+		kind := a.Kind()
+		switch kind {
+		case ActKill, ActPause, ActResume, ActLeave, ActJoin:
+			if len(a.Nodes) == 0 {
+				return fail("action[%d]: %s needs nodes", i, kind)
+			}
+			if len(a.Side) > 0 || len(a.Cut) > 0 || a.Pct != 0 || a.Bound != 0 {
+				return fail("action[%d]: %s takes nodes only", i, kind)
+			}
+			for _, id := range a.Nodes {
+				if id < 1 || id > s.N {
+					return fail("action[%d]: node %d outside [1, %d]", i, id, s.N)
+				}
+				if at, joiner := joinAt[id]; joiner && kind != ActJoin && a.At < at {
+					return fail("action[%d]: node %d acted on at %d before its join at %d", i, id, a.At, at)
+				}
+				switch kind {
+				case ActKill, ActLeave:
+					if dead[id] {
+						return fail("action[%d]: node %d is already gone", i, id)
+					}
+					dead[id] = true
+				case ActPause:
+					if dead[id] {
+						return fail("action[%d]: node %d paused after its departure", i, id)
+					}
+					paused[id] = true
+				case ActResume:
+					if !paused[id] {
+						return fail("action[%d]: node %d resumed without a pause", i, id)
+					}
+					delete(paused, id)
+				case ActJoin:
+					if joined[id] {
+						return fail("action[%d]: node %d joins twice", i, id)
+					}
+					joined[id] = true
+				}
+			}
+		case ActCut:
+			if (len(a.Side) > 0) == (len(a.Cut) > 0) {
+				return fail("action[%d]: cut needs exactly one of side and cut", i)
+			}
+			if len(a.Nodes) > 0 || a.Pct != 0 || a.Bound != 0 {
+				return fail("action[%d]: cut takes side/cut only", i)
+			}
+			if err := s.checkPlanEdges(a, edges); err != nil {
+				return fail("action[%d]: %v", i, err)
+			}
+		case ActHeal:
+			if len(a.Nodes) > 0 || a.Pct != 0 || a.Bound != 0 {
+				return fail("action[%d]: heal takes side/cut (or nothing)", i)
+			}
+			if err := s.checkPlanEdges(a, edges); err != nil {
+				return fail("action[%d]: %v", i, err)
+			}
+		case ActDrop:
+			if a.Pct < 0 || a.Pct > 100 {
+				return fail("action[%d]: drop pct = %d%% outside [0, 100]", i, a.Pct)
+			}
+			if len(a.Nodes) > 0 || len(a.Side) > 0 || len(a.Cut) > 0 || a.Bound != 0 {
+				return fail("action[%d]: drop takes pct only", i)
+			}
+		case ActDelay:
+			if a.Bound < 0 {
+				return fail("action[%d]: delay bound = %d must be non-negative", i, a.Bound)
+			}
+			if len(a.Nodes) > 0 || len(a.Side) > 0 || len(a.Cut) > 0 || a.Pct != 0 {
+				return fail("action[%d]: delay takes bound only", i)
+			}
+		case "":
+			return fail("action[%d]: action is required", i)
+		default:
+			return fail("action[%d]: unknown action %q", i, a.Action)
+		}
+	}
+	return nil
+}
+
+// Kind returns the action's kind as the IR vocabulary.
+func (a ActionSpec) Kind() ActionKind { return ActionKind(a.Action) }
+
+// checkPlanEdges validates a cut/heal action's node and edge
+// references against the generated overlay.
+func (s Spec) checkPlanEdges(a ActionSpec, edges map[edgeKey]bool) error {
+	for _, id := range a.Side {
+		if id < 1 || id > s.N {
+			return fmt.Errorf("side node %d outside [1, %d]", id, s.N)
+		}
+	}
+	for _, e := range a.Cut {
+		x, y := e[0], e[1]
+		if x < 1 || x > s.N || y < 1 || y > s.N || x == y {
+			return fmt.Errorf("bad edge [%d, %d]", x, y)
+		}
+		if !edges[canonEdge(x, y)] {
+			return fmt.Errorf("edge [%d, %d] does not exist in the %s topology", x, y, s.Topology.Kind)
+		}
+	}
+	return nil
+}
+
+// resolveActionEdges compiles one cut/heal action's edge selection
+// against the overlay edge list: a Side boundary becomes its crossing
+// edges, an explicit Cut passes through canonicalized, and a bare heal
+// resolves to nil ("all active cuts" to the interpreters).
+func resolveActionEdges(a ActionSpec, all []edgeKey) ([][2]int, error) {
+	if len(a.Cut) > 0 {
+		out := make([][2]int, len(a.Cut))
+		for i, e := range a.Cut {
+			k := canonEdge(e[0], e[1])
+			out[i] = [2]int{k.a, k.b}
+		}
+		return out, nil
+	}
+	if len(a.Side) == 0 {
+		return nil, nil
+	}
+	inSide := map[int]bool{}
+	for _, id := range a.Side {
+		inSide[id] = true
+	}
+	var out [][2]int
+	for _, e := range all {
+		if inSide[e.a] != inSide[e.b] {
+			out = append(out, [2]int{e.a, e.b})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("side boundary severs no overlay edge")
+	}
+	return out, nil
+}
+
+// CompilePlan compiles the spec's declarative plan into the FaultPlan
+// IR: edges resolved against the generated overlay, actions sorted by
+// time, churn indexed. It returns (nil, nil) when the spec declares no
+// plan. The spec must already be valid (Parse/Load guarantee it).
+func (s Spec) CompilePlan() (*FaultPlan, error) {
+	if len(s.Plan) == 0 {
+		return nil, nil
+	}
+	edgeSet, err := s.Topology.edgeSet(s.N)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.validatePlan(edgeSet); err != nil {
+		return nil, err
+	}
+	all := make([]edgeKey, 0, len(edgeSet))
+	for k := range edgeSet {
+		all = append(all, k)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].a != all[j].a {
+			return all[i].a < all[j].a
+		}
+		return all[i].b < all[j].b
+	})
+
+	plan := &FaultPlan{
+		N:       s.N,
+		Horizon: s.Horizon,
+		Joins:   map[int]int64{},
+		Leaves:  map[int]int64{},
+		Kills:   map[int]int64{},
+	}
+	for i, a := range s.Plan {
+		act := PlanAction{
+			At:    a.At,
+			Kind:  a.Kind(),
+			Nodes: append([]int(nil), a.Nodes...),
+			Pct:   a.Pct,
+			Bound: a.Bound,
+		}
+		switch act.Kind {
+		case ActCut, ActHeal:
+			edges, err := resolveActionEdges(a, all)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q: plan: action[%d]: %w", s.Name, i, err)
+			}
+			act.Edges = edges
+		case ActKill:
+			for _, id := range a.Nodes {
+				plan.Kills[id] = a.At
+			}
+		case ActLeave:
+			for _, id := range a.Nodes {
+				plan.Leaves[id] = a.At
+			}
+		case ActJoin:
+			for _, id := range a.Nodes {
+				plan.Joins[id] = a.At
+			}
+		}
+		plan.Actions = append(plan.Actions, act)
+	}
+	sort.SliceStable(plan.Actions, func(i, j int) bool { return plan.Actions[i].At < plan.Actions[j].At })
+	return plan, nil
+}
+
+// CompilePlan lowers a legacy live spec's imperative schedule into the
+// same FaultPlan IR the /v3 specs compile to, so the cluster backend
+// interprets exactly one representation whichever format it was fed.
+// Times carry over 1:1 (LiveSpec's at_ms are already the IR's
+// milliseconds-after-warmup).
+func (s LiveSpec) CompilePlan() (*FaultPlan, error) {
+	plan := &FaultPlan{
+		N:      s.N,
+		Joins:  map[int]int64{},
+		Leaves: map[int]int64{},
+		Kills:  map[int]int64{},
+	}
+	for i, ev := range s.Schedule {
+		act := PlanAction{At: ev.AtMs, Nodes: append([]int(nil), ev.Nodes...)}
+		switch ev.Action {
+		case LiveKill:
+			act.Kind = ActKill
+			for _, id := range ev.Nodes {
+				plan.Kills[id] = ev.AtMs
+			}
+		case LivePause:
+			act.Kind = ActPause
+		case LiveResume:
+			act.Kind = ActResume
+		case LivePartition, LiveHeal:
+			if ev.Action == LivePartition {
+				act.Kind = ActCut
+			} else {
+				act.Kind = ActHeal
+			}
+			edges, err := s.ResolveEdges(ev)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range edges {
+				k := canonEdge(e[0], e[1])
+				act.Edges = append(act.Edges, [2]int{k.a, k.b})
+			}
+		default:
+			return nil, fmt.Errorf("live scenario %q: schedule[%d]: unknown action %q", s.Name, i, ev.Action)
+		}
+		if act.At > plan.Horizon {
+			plan.Horizon = act.At
+		}
+		plan.Actions = append(plan.Actions, act)
+	}
+	sort.SliceStable(plan.Actions, func(i, j int) bool { return plan.Actions[i].At < plan.Actions[j].At })
+	return plan, nil
+}
+
+// LiveDefaults returns the spec's live parameters in LiveParams form
+// (normalized), so both spec formats configure the cluster backend
+// through one struct.
+func (s LiveSpec) LiveDefaults() LiveParams {
+	lp := LiveParams{
+		IntervalMs:     s.IntervalMs,
+		SamplePeriodMs: s.SamplePeriodMs,
+		Fanout:         s.Fanout,
+		Estimator:      s.Estimator,
+		WarmupMs:       s.WarmupMs,
+		SettleMs:       s.SettleMs,
+		BoundMs:        s.BoundMs,
+	}
+	lp.Normalize()
+	return lp
+}

@@ -1,0 +1,330 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"realisticfd/internal/harness"
+	"realisticfd/internal/model"
+)
+
+// v3Spec is a well-formed /v3 spec exercising every plan verb, used
+// (and perturbed) by the plan tests.
+func v3Spec() Spec {
+	return Spec{
+		Schema:   SchemaV3,
+		Name:     "v3-test",
+		N:        6,
+		Horizon:  2000,
+		Seeds:    SeedSpec{From: 0, To: 4},
+		Protocol: ProtocolSpec{Kind: ProtocolBusy},
+		Oracle:   OracleSpec{Kind: OraclePerfect, Delay: 2},
+		Plan: []ActionSpec{
+			{At: 0, Action: "drop", Pct: 10},
+			{At: 100, Action: "delay", Bound: 4},
+			{At: 200, Action: "cut", Side: []int{1, 2}},
+			{At: 400, Action: "heal"},
+			{At: 500, Action: "pause", Nodes: []int{3}},
+			{At: 700, Action: "resume", Nodes: []int{3}},
+			{At: 800, Action: "kill", Nodes: []int{4}},
+			{At: 900, Action: "leave", Nodes: []int{5}},
+			{At: 600, Action: "join", Nodes: []int{6}},
+		},
+	}
+}
+
+const v3JSON = `{
+  "schema": "fdspec/v3",
+  "name": "v3-test",
+  "n": 4,
+  "horizon": 1000,
+  "seeds": {"from": 0, "to": 2},
+  "protocol": {"kind": "busy"},
+  "oracle": {"kind": "perfect", "delay": 2},
+  "plan": [
+    {"at": 0, "action": "drop", "pct": 5},
+    {"at": 100, "action": "cut", "cut": [[1, 2]]},
+    {"at": 200, "action": "heal", "cut": [[1, 2]]},
+    {"at": 300, "action": "join", "nodes": [4]}
+  ],
+  "live": {"interval_ms": 40, "bound_ms": 3000}
+}`
+
+// TestV3ParseAndCompile pins the happy path: a /v3 document parses
+// strictly, its live defaults normalize, and CompilePlan resolves the
+// timeline with churn indexed.
+func TestV3ParseAndCompile(t *testing.T) {
+	t.Parallel()
+	s, err := Parse([]byte(v3JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Live.SamplePeriodMs != 40 || s.Live.WarmupMs != 1000 || s.Live.Estimator.Kind != LiveEstPhi {
+		t.Fatalf("live defaults not normalized: %+v", s.Live)
+	}
+	plan, err := s.CompilePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Empty() || len(plan.Actions) != 4 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if at, ok := plan.Joins[4]; !ok || at != 300 {
+		t.Fatalf("join of node 4 not indexed: %+v", plan.Joins)
+	}
+	if !plan.Joiner(4) || plan.Joiner(1) {
+		t.Fatal("Joiner misreports")
+	}
+
+	full, err := v3Spec().CompilePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Actions) != 9 {
+		t.Fatalf("got %d actions", len(full.Actions))
+	}
+	// Actions come out time-sorted: the join at 600 precedes the kill.
+	for i := 1; i < len(full.Actions); i++ {
+		if full.Actions[i-1].At > full.Actions[i].At {
+			t.Fatalf("actions not sorted by At: %+v", full.Actions)
+		}
+	}
+	if full.Kills[4] != 800 || full.Leaves[5] != 900 || full.Joins[6] != 600 {
+		t.Fatalf("churn indexes wrong: kills=%v leaves=%v joins=%v", full.Kills, full.Leaves, full.Joins)
+	}
+	// The side cut at 200 resolved against the complete topology: the
+	// boundary {1,2} crosses to {3..6}, 2·4 = 8 edges.
+	for _, a := range full.Actions {
+		if a.Kind == ActCut && len(a.Edges) != 8 {
+			t.Fatalf("side cut resolved to %d edges, want 8", len(a.Edges))
+		}
+	}
+}
+
+// TestV3Rejections walks the plan validator's error paths.
+func TestV3Rejections(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		label   string
+		mangle  func(Spec) Spec
+		wantErr string
+	}{
+		{"plan without v3 schema", func(s Spec) Spec { s.Schema = ""; return s }, "require schema"},
+		{"live without v3 schema", func(s Spec) Spec {
+			s.Schema = ""
+			s.Plan = nil
+			s.Live = &LiveParams{IntervalMs: 40}
+			return s
+		}, "require schema"},
+		{"unknown schema", func(s Spec) Spec { s.Schema = "fdspec/v9"; return s }, "unknown"},
+		{"unknown action", func(s Spec) Spec { s.Plan[0].Action = "detonate"; return s }, `unknown action "detonate"`},
+		{"negative at", func(s Spec) Spec { s.Plan[0].At = -1; return s }, "non-negative"},
+		{"beyond horizon", func(s Spec) Spec { s.Plan[0].At = 9999; return s }, "beyond the horizon"},
+		{"drop out of range", func(s Spec) Spec { s.Plan[0].Pct = 130; return s }, "outside [0, 100]"},
+		{"negative delay bound", func(s Spec) Spec { s.Plan[1].Bound = -2; return s }, "non-negative"},
+		{"kill without nodes", func(s Spec) Spec { s.Plan[6].Nodes = nil; return s }, "kill needs nodes"},
+		{"kill with pct", func(s Spec) Spec { s.Plan[6].Pct = 5; return s }, "takes nodes only"},
+		{"cut with both side and cut", func(s Spec) Spec {
+			s.Plan[2].Cut = [][2]int{{1, 3}}
+			return s
+		}, "exactly one of side and cut"},
+		{"cut of nonexistent edge", func(s Spec) Spec {
+			s.Topology = TopologySpec{Kind: TopologyRing}
+			s.Plan[2] = ActionSpec{At: 200, Action: "cut", Cut: [][2]int{{1, 3}}}
+			return s
+		}, "does not exist in the ring topology"},
+		{"node out of range", func(s Spec) Spec { s.Plan[6].Nodes = []int{7}; return s }, "outside [1, 6]"},
+		{"double kill", func(s Spec) Spec {
+			s.Plan = append(s.Plan, ActionSpec{At: 850, Action: "kill", Nodes: []int{4}})
+			return s
+		}, "already gone"},
+		{"kill of v2 crash victim", func(s Spec) Spec {
+			s.Crashes = []CrashSpec{{Process: 4, At: 10}}
+			return s
+		}, "already gone"},
+		{"pause after kill", func(s Spec) Spec {
+			s.Plan = append(s.Plan, ActionSpec{At: 850, Action: "pause", Nodes: []int{4}})
+			return s
+		}, "paused after its departure"},
+		{"resume without pause", func(s Spec) Spec {
+			s.Plan = append(s.Plan, ActionSpec{At: 750, Action: "resume", Nodes: []int{2}})
+			return s
+		}, "resumed without a pause"},
+		{"double join", func(s Spec) Spec {
+			s.Plan = append(s.Plan, ActionSpec{At: 650, Action: "join", Nodes: []int{6}})
+			return s
+		}, "joins twice"},
+		{"action on joiner before join", func(s Spec) Spec {
+			s.Plan = append(s.Plan, ActionSpec{At: 100, Action: "pause", Nodes: []int{6}})
+			return s
+		}, "before its join"},
+		{"joiner also crashes via v2 field", func(s Spec) Spec {
+			s.Crashes = []CrashSpec{{Process: 6, At: 10}}
+			return s
+		}, "crashes via the crashes field"},
+		{"live negative duration", func(s Spec) Spec {
+			s.Live = &LiveParams{WarmupMs: -1}
+			return s
+		}, "non-negative"},
+		{"live bad estimator", func(s Spec) Spec {
+			s.Live = &LiveParams{Estimator: LiveEstimatorSpec{Kind: "ouija"}}
+			return s
+		}, `unknown kind "ouija"`},
+	}
+	for _, c := range cases {
+		s := c.mangle(v3Spec())
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", c.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.label, err, c.wantErr)
+		}
+	}
+	if err := v3Spec().Validate(); err != nil {
+		t.Fatalf("valid v3 spec rejected: %v", err)
+	}
+}
+
+// TestV2CanonicalUnchangedByV3Fields is the digest-compatibility gate:
+// the canonical encoding of a v2 spec must not mention any of the new
+// keys, so every pre-existing ConfigDigest is untouched by this
+// release.
+func TestV2CanonicalUnchangedByV3Fields(t *testing.T) {
+	t.Parallel()
+	data, err := validSpec().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"schema"`, `"plan"`, `"live"`} {
+		if strings.Contains(string(data), key) {
+			t.Fatalf("v2 canonical encoding mentions %s:\n%s", key, data)
+		}
+	}
+}
+
+// TestPlanConstantRateMatchesV2 pins the lowering equivalence: a v3
+// plan that sets drop/delay once at tick 0 replays byte-identically to
+// the v2 spec with the same constant rates — the step machinery and the
+// constant fields share one lottery.
+func TestPlanConstantRateMatchesV2(t *testing.T) {
+	t.Parallel()
+	v2 := Spec{
+		Name:     "const",
+		N:        5,
+		Horizon:  800,
+		Seeds:    SeedSpec{From: 0, To: 6},
+		Protocol: ProtocolSpec{Kind: ProtocolBusy},
+		Oracle:   OracleSpec{Kind: OraclePerfect, Delay: 2},
+		Faults:   &FaultSpec{DropPct: 10, MaxExtraDelay: 4},
+	}
+	v3 := v2
+	v3.Schema = SchemaV3
+	v3.Faults = nil
+	v3.Plan = []ActionSpec{
+		{At: 0, Action: "drop", Pct: 10},
+		{At: 0, Action: "delay", Bound: 4},
+	}
+	digests := func(s Spec) []string {
+		sc := MustBuild(s)
+		var out []string
+		for _, r := range harness.Sweep(sc, harness.Seeds(6), 1) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			out = append(out, r.Trace.Digest())
+		}
+		return out
+	}
+	a, b := digests(v2), digests(v3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d diverged: v2 %s vs v3 %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPlanLowering checks the sim lowering shape: churn and cut/heal
+// compile onto the existing LinkFaults/pattern machinery.
+func TestPlanLowering(t *testing.T) {
+	t.Parallel()
+	s := v3Spec()
+	sc := MustBuild(s)
+
+	// kill(4)@800 and leave(5)@900 became pattern crashes.
+	pat := sc.Pattern()
+	if at, ok := pat.CrashTime(4); !ok || at != 800 {
+		t.Fatalf("kill not lowered to a crash: %v %v", at, ok)
+	}
+	if at, ok := pat.CrashTime(5); !ok || at != 900 {
+		t.Fatalf("leave not lowered to a crash: %v %v", at, ok)
+	}
+
+	if sc.Faults == nil {
+		t.Fatal("no faults compiled")
+	}
+	if len(sc.Faults.DropSteps) != 1 || sc.Faults.DropSteps[0].Pct != 10 {
+		t.Fatalf("drop steps = %+v", sc.Faults.DropSteps)
+	}
+	if len(sc.Faults.DelaySteps) != 1 || sc.Faults.DelaySteps[0].Max != 4 {
+		t.Fatalf("delay steps = %+v", sc.Faults.DelaySteps)
+	}
+
+	// Expected windows: the side cut [200,400), the pause isolation of
+	// node 3 [500,700), and node 6's birth isolation [0,600).
+	want := map[[2]model.Time]bool{
+		{200, 400}: false,
+		{500, 700}: false,
+		{0, 600}:   false,
+	}
+	for _, c := range sc.Faults.Cuts {
+		key := [2]model.Time{c.From, c.Until}
+		if _, ok := want[key]; ok {
+			want[key] = true
+		}
+	}
+	for w, seen := range want {
+		if !seen {
+			t.Fatalf("no cut with window %v; cuts = %+v", w, sc.Faults.Cuts)
+		}
+	}
+
+	// An unresumed pause and an unhealed cut stay severed past the
+	// horizon.
+	s2 := v3Spec()
+	s2.Plan = []ActionSpec{
+		{At: 100, Action: "cut", Cut: [][2]int{{1, 2}}},
+		{At: 300, Action: "pause", Nodes: []int{3}},
+	}
+	sc2 := MustBuild(s2)
+	never := model.Time(s2.Horizon) + 1
+	var sawCut, sawPause bool
+	for _, c := range sc2.Faults.Cuts {
+		if c.From == 100 && c.Until == never {
+			sawCut = true
+		}
+		if c.From == 300 && c.Until == never {
+			sawPause = true
+		}
+	}
+	if !sawCut || !sawPause {
+		t.Fatalf("permanent windows missing: %+v", sc2.Faults.Cuts)
+	}
+}
+
+// TestPlanChurnRunCompletes runs the full churn spec end to end over a
+// few seeds — the acceptance smoke that drop + partition + churn
+// coexist in one sim run.
+func TestPlanChurnRunCompletes(t *testing.T) {
+	t.Parallel()
+	sc := MustBuild(v3Spec())
+	for _, r := range harness.Sweep(sc, harness.Seeds(4), 1) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Trace == nil || len(r.Trace.Events) == 0 {
+			t.Fatal("empty trace")
+		}
+	}
+}

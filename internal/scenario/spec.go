@@ -31,6 +31,11 @@ import (
 // the canonical encoding order; ConfigDigest hashes exactly this
 // serialization of the normalized spec.
 type Spec struct {
+	// Schema versions the spec format: empty for the original (v2)
+	// schema, SchemaV3 for specs that use the fault-plan IR fields
+	// (Plan, Live). v3 is a strict superset of v2 — every v2 document
+	// is a valid v3 document with no plan.
+	Schema string `json:"schema,omitempty"`
 	// Name labels the scenario; the scenario runner also derives
 	// checkpoint file names from it.
 	Name string `json:"name"`
@@ -51,6 +56,15 @@ type Spec struct {
 	Topology TopologySpec `json:"topology,omitzero"`
 	// Faults is the link-fault plan, expressed against the topology.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// Plan is the /v3 fault-plan timeline: typed actions (cut, heal,
+	// drop, delay, kill, pause, resume, leave, join) compiled to the
+	// FaultPlan IR that both the simulator and the live cluster
+	// consume. Requires Schema = SchemaV3.
+	Plan []ActionSpec `json:"plan,omitempty"`
+	// Live carries the live-only parameters of a /v3 spec (gossip
+	// interval, estimator, warmup/settle/bound); the simulator ignores
+	// it. Requires Schema = SchemaV3.
+	Live *LiveParams `json:"live,omitempty"`
 	// Policy selects the scheduling policy; the zero value means
 	// random-fair.
 	Policy PolicySpec `json:"policy,omitzero"`
@@ -234,6 +248,9 @@ func (s *Spec) normalize() {
 	}
 	if s.Stop.Kind == "" {
 		s.Stop.Kind = StopNone
+	}
+	if s.Live != nil {
+		s.Live.Normalize()
 	}
 }
 

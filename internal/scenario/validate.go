@@ -41,6 +41,11 @@ const (
 	HookCrashOnDecide = "crash-on-decide"
 )
 
+// SchemaV3 is the spec schema that adds the fault-plan IR fields (Plan,
+// Live). The empty schema is the original v2 format; v3 is a strict
+// superset, so every v2 document parses unchanged.
+const SchemaV3 = "fdspec/v3"
+
 // Validate checks every constraint a well-formed spec must satisfy; it
 // reports the first violation. Parse validates automatically; call it
 // directly on specs assembled in Go.
@@ -50,6 +55,14 @@ func (s Spec) Validate() error {
 	}
 	if s.Name == "" {
 		return fmt.Errorf("scenario: name is required")
+	}
+	switch s.Schema {
+	case "", SchemaV3:
+	default:
+		return fail("schema: unknown %q (want %q or empty)", s.Schema, SchemaV3)
+	}
+	if s.Schema != SchemaV3 && (len(s.Plan) > 0 || s.Live != nil) {
+		return fail("plan/live fields require schema %q", SchemaV3)
 	}
 	if s.N < 1 || s.N > model.MaxProcesses {
 		return fail("n = %d outside [1, %d]", s.N, model.MaxProcesses)
@@ -139,6 +152,33 @@ func (s Spec) Validate() error {
 					return fail("faults: partition %d: edge [%d, %d] does not exist in the %s topology", i, a, b, s.Topology.Kind)
 				}
 			}
+		}
+	}
+
+	if len(s.Plan) > 0 {
+		if err := s.validatePlan(edges); err != nil {
+			return err
+		}
+	}
+	if lp := s.Live; lp != nil {
+		if lp.IntervalMs < 0 || lp.SamplePeriodMs < 0 || lp.WarmupMs < 0 || lp.SettleMs < 0 || lp.BoundMs < 0 {
+			return fail("live: durations must be non-negative")
+		}
+		if lp.Fanout < 0 {
+			return fail("live: fanout = %d must be non-negative", lp.Fanout)
+		}
+		switch lp.Estimator.Kind {
+		case LiveEstFixed:
+			if lp.Estimator.TimeoutMs < 1 {
+				return fail("live: estimator fixed: timeout_ms = %d must be ≥ 1", lp.Estimator.TimeoutMs)
+			}
+		case LiveEstChen, LiveEstPhi, "":
+		default:
+			return fail("live: estimator: unknown kind %q", lp.Estimator.Kind)
+		}
+		if lp.Estimator.Window < 0 || lp.Estimator.TimeoutMs < 0 || lp.Estimator.AlphaMs < 0 ||
+			lp.Estimator.Phi < 0 || lp.Estimator.MinStdDevMs < 0 {
+			return fail("live: estimator parameters must be non-negative")
 		}
 	}
 

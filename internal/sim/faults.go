@@ -119,18 +119,81 @@ type LinkFaults struct {
 	// Cuts are topology-aware partitions: scripted severings of
 	// explicit edge sets.
 	Cuts []EdgeCut
+	// DropSteps, when non-empty, makes the loss rate piecewise-constant
+	// in send time: a message sent at t is dropped with the Pct of the
+	// last step whose From ≤ t (DropPct applies before the first step).
+	// Steps must be sorted by From. This is the lowering target of the
+	// fault-plan IR's timed drop actions.
+	DropSteps []RateStep
+	// DelaySteps likewise schedules the extra-delay bound by send time
+	// (MaxExtraDelay applies before the first step).
+	DelaySteps []DelayStep
+}
+
+// RateStep is one piecewise-constant segment of a drop-rate timeline:
+// messages sent at or after From are lost with probability Pct percent,
+// until a later step supersedes it.
+type RateStep struct {
+	From model.Time
+	Pct  int
+}
+
+// DelayStep is one piecewise-constant segment of an extra-delay
+// timeline: messages sent at or after From draw their extra latency
+// uniformly from [0, Max] ticks.
+type DelayStep struct {
+	From model.Time
+	Max  model.Time
+}
+
+// dropPctAt returns the loss rate for a message sent at t.
+func (lf LinkFaults) dropPctAt(t model.Time) int {
+	pct := lf.DropPct
+	for _, s := range lf.DropSteps {
+		if s.From > t {
+			break
+		}
+		pct = s.Pct
+	}
+	return pct
+}
+
+// delayBoundAt returns the extra-delay bound for a message sent at t.
+func (lf LinkFaults) delayBoundAt(t model.Time) model.Time {
+	d := lf.MaxExtraDelay
+	for _, s := range lf.DelaySteps {
+		if s.From > t {
+			break
+		}
+		d = s.Max
+	}
+	return d
+}
+
+// lossy reports whether any segment of the plan loses messages.
+func (lf LinkFaults) lossy() bool {
+	if lf.DropPct > 0 {
+		return true
+	}
+	for _, s := range lf.DropSteps {
+		if s.Pct > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Active reports whether the fault plan perturbs anything at all.
 func (lf LinkFaults) Active() bool {
-	return lf.DropPct > 0 || lf.MaxExtraDelay > 0 || len(lf.Partitions) > 0 || len(lf.Cuts) > 0
+	return lf.DropPct > 0 || lf.MaxExtraDelay > 0 || len(lf.Partitions) > 0 || len(lf.Cuts) > 0 ||
+		len(lf.DropSteps) > 0 || len(lf.DelaySteps) > 0
 }
 
 // LossFree reports whether every message is eventually deliverable
 // (no drops and every partition heals), i.e. whether liveness claims
 // survive the fault plan.
 func (lf LinkFaults) LossFree() bool {
-	return lf.DropPct <= 0
+	return !lf.lossy()
 }
 
 // String renders the plan, e.g. "faults{drop=10%,delay≤4,part=[{p1,p2}|rest@40..400]}".
@@ -158,6 +221,20 @@ func (lf LinkFaults) String() string {
 			cs[i] = c.String()
 		}
 		parts = append(parts, "cuts=["+strings.Join(cs, " ")+"]")
+	}
+	if len(lf.DropSteps) > 0 {
+		ss := make([]string, len(lf.DropSteps))
+		for i, s := range lf.DropSteps {
+			ss[i] = fmt.Sprintf("%d%%@%d", s.Pct, s.From)
+		}
+		parts = append(parts, "drops=["+strings.Join(ss, " ")+"]")
+	}
+	if len(lf.DelaySteps) > 0 {
+		ss := make([]string, len(lf.DelaySteps))
+		for i, s := range lf.DelaySteps {
+			ss[i] = fmt.Sprintf("≤%d@%d", s.Max, s.From)
+		}
+		parts = append(parts, "delays=["+strings.Join(ss, " ")+"]")
 	}
 	return "faults{" + strings.Join(parts, ",") + "}"
 }
@@ -239,17 +316,28 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// Dropped reports whether the plan loses message m forever.
+// Dropped reports whether the plan loses message m forever. With
+// DropSteps the rate is the one in force at m.SentAt; the lottery hash
+// itself never depends on the rate, so two plans that agree on the rate
+// at m.SentAt agree on m's fate.
 func (fp *FaultyPolicy) Dropped(m *Message) bool {
-	if fp.Faults.DropPct <= 0 {
+	pct := fp.Faults.DropPct
+	if len(fp.Faults.DropSteps) > 0 {
+		pct = fp.Faults.dropPctAt(m.SentAt)
+	}
+	if pct <= 0 {
 		return false
 	}
-	return mix64(fp.seed^uint64(m.ID))%100 < uint64(fp.Faults.DropPct)
+	return mix64(fp.seed^uint64(m.ID))%100 < uint64(pct)
 }
 
-// ExtraDelay returns the extra latency the plan imposes on m.
+// ExtraDelay returns the extra latency the plan imposes on m, drawn
+// from the delay bound in force at m.SentAt.
 func (fp *FaultyPolicy) ExtraDelay(m *Message) model.Time {
 	d := fp.Faults.MaxExtraDelay
+	if len(fp.Faults.DelaySteps) > 0 {
+		d = fp.Faults.delayBoundAt(m.SentAt)
+	}
 	if d <= 0 {
 		return 0
 	}
@@ -329,7 +417,7 @@ var _ DropSifter = (*FaultyPolicy)(nil)
 // lottery says "lost forever" is reported for purging, and its cached
 // verdict is evicted — it will never be queried again.
 func (fp *FaultyPolicy) SiftDropped(pending []*Message, dst []*Message) []*Message {
-	if !fp.seeded || fp.Faults.DropPct <= 0 {
+	if !fp.seeded || !fp.Faults.lossy() {
 		return dst
 	}
 	for _, m := range pending {

@@ -329,3 +329,57 @@ func TestLinkFaultsString(t *testing.T) {
 		t.Error("delay-only plan must be loss-free")
 	}
 }
+
+// TestFaultyPolicyStepTimelines pins the piecewise drop/delay
+// machinery: the rate in force at a message's send time decides its
+// fate, a timeline that matches the constant fields agrees with them
+// message for message, and empty timelines leave the classic path
+// untouched.
+func TestFaultyPolicyStepTimelines(t *testing.T) {
+	t.Parallel()
+	steps := &FaultyPolicy{Faults: LinkFaults{
+		DropSteps:  []RateStep{{From: 100, Pct: 100}, {From: 200, Pct: 0}},
+		DelaySteps: []DelayStep{{From: 100, Max: 5}},
+	}, Seed: 17}
+	steps.seeded, steps.seed = true, steps.Seed
+	for id := int64(1); id <= 200; id++ {
+		before := &Message{ID: id, SentAt: 99}
+		during := &Message{ID: id, SentAt: 150}
+		after := &Message{ID: id, SentAt: 200}
+		if steps.Dropped(before) || steps.Dropped(after) {
+			t.Fatal("message outside the 100% window dropped")
+		}
+		if !steps.Dropped(during) {
+			t.Fatal("message inside the 100% window survived")
+		}
+		if d := steps.ExtraDelay(before); d != 0 {
+			t.Fatalf("delay %d before the delay step", d)
+		}
+		if d := steps.ExtraDelay(during); d < 0 || d > 5 {
+			t.Fatalf("delay %d outside [0, 5]", d)
+		}
+	}
+	if steps.Faults.LossFree() {
+		t.Fatal("timeline with a lossy segment claims LossFree")
+	}
+	if !(LinkFaults{DropSteps: []RateStep{{From: 0, Pct: 0}}}).LossFree() {
+		t.Fatal("all-zero drop timeline is loss-free")
+	}
+
+	constant := &FaultyPolicy{Faults: LinkFaults{DropPct: 30, MaxExtraDelay: 4}, Seed: 17}
+	constant.seeded, constant.seed = true, constant.Seed
+	flat := &FaultyPolicy{Faults: LinkFaults{
+		DropSteps:  []RateStep{{From: 0, Pct: 30}},
+		DelaySteps: []DelayStep{{From: 0, Max: 4}},
+	}, Seed: 17}
+	flat.seeded, flat.seed = true, flat.Seed
+	for id := int64(1); id <= 500; id++ {
+		m := &Message{ID: id, SentAt: model.Time(id % 97)}
+		if constant.Dropped(m) != flat.Dropped(m) {
+			t.Fatalf("message %d: constant and flat-timeline drop verdicts differ", id)
+		}
+		if constant.ExtraDelay(m) != flat.ExtraDelay(m) {
+			t.Fatalf("message %d: constant and flat-timeline delays differ", id)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"realisticfd/internal/model"
+)
+
+// TestFaultHookDeterministic pins the determinism contract: two hooks
+// with the same seed judging the same frame sequence produce identical
+// per-link verdicts, drop counts and recorded decision prefixes.
+func TestFaultHookDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func() *FaultHook {
+		h := NewFaultHook(1, 42)
+		h.SetDrop(30)
+		h.SetDelayMax(3)
+		for frame := 0; frame < 500; frame++ {
+			for to := model.ProcessID(2); to <= 4; to++ {
+				h.Decide(to)
+			}
+		}
+		return h
+	}
+	a, b := run(), run()
+	as, bs := a.Stats(), b.Stats()
+	if len(as) != 3 || len(bs) != 3 {
+		t.Fatalf("stats cover %d/%d links, want 3", len(as), len(bs))
+	}
+	for to, sa := range as {
+		sb := bs[to]
+		if sa != sb {
+			t.Fatalf("link →%v: run A %+v, run B %+v", to, sa, sb)
+		}
+		if sa.Frames != 500 {
+			t.Fatalf("link →%v: %d frames, want 500", to, sa.Frames)
+		}
+		if sa.Drops < 500*20/100 || sa.Drops > 500*40/100 {
+			t.Fatalf("link →%v: %d drops far from configured 30%%", to, sa.Drops)
+		}
+		da, db := a.Decisions(to), b.Decisions(to)
+		if len(da) != len(db) {
+			t.Fatalf("decision prefixes differ in length: %d vs %d", len(da), len(db))
+		}
+		for i := range da {
+			if da[i] != db[i] {
+				t.Fatalf("link →%v frame %d: verdicts diverge", to, i)
+			}
+		}
+	}
+	// A different seed must (overwhelmingly) disagree somewhere.
+	c := NewFaultHook(1, 43)
+	c.SetDrop(30)
+	for frame := 0; frame < 500; frame++ {
+		c.Decide(2)
+	}
+	same := true
+	da, dc := a.Decisions(2), c.Decisions(2)
+	for i := range da {
+		if da[i] != dc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 judged 500 frames identically")
+	}
+}
+
+// TestFaultHookRatesMidRun checks the mutable-rate semantics: the frame
+// index keeps counting while rates are zero, so verdicts stay a pure
+// function of the index regardless of when loss was switched on.
+func TestFaultHookRatesMidRun(t *testing.T) {
+	t.Parallel()
+	full := NewFaultHook(1, 7)
+	full.SetDrop(50)
+	for frame := 0; frame < 200; frame++ {
+		full.Decide(2)
+	}
+	late := NewFaultHook(1, 7)
+	for frame := 0; frame < 100; frame++ {
+		if drop, _ := late.Decide(2); drop {
+			t.Fatal("frame dropped while the rate was zero")
+		}
+	}
+	late.SetDrop(50)
+	for frame := 100; frame < 200; frame++ {
+		late.Decide(2)
+	}
+	df, dl := full.Decisions(2), late.Decisions(2)
+	for i := 100; i < 200; i++ {
+		if df[i] != dl[i] {
+			t.Fatalf("frame %d: verdict depends on when the rate was set", i)
+		}
+	}
+}
+
+// TestTCPNodeFaultHook runs the hook on real sockets: full loss stops
+// traffic, delay defers but still delivers, and zero rates are
+// pass-through.
+func TestTCPNodeFaultHook(t *testing.T) {
+	t.Parallel()
+	nodes, err := NewTCPCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseTCPCluster(nodes)
+	a, b := nodes[0], nodes[1]
+
+	hook := NewFaultHook(a.Self(), 5)
+	a.SetFaultHook(hook)
+
+	recv := func(timeout time.Duration) *Envelope {
+		select {
+		case env, ok := <-b.Recv():
+			if !ok {
+				t.Fatal("recv channel closed")
+			}
+			return &env
+		case <-time.After(timeout):
+			return nil
+		}
+	}
+
+	// Pass-through with zero rates.
+	if err := a.Send(Envelope{To: 2, Type: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	if recv(2*time.Second) == nil {
+		t.Fatal("zero-rate hook lost a frame")
+	}
+
+	// 100% drop: nothing arrives.
+	hook.SetDrop(100)
+	for i := 0; i < 10; i++ {
+		if err := a.Send(Envelope{To: 2, Type: "ping"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if env := recv(150 * time.Millisecond); env != nil {
+		t.Fatalf("frame %+v slipped past a 100%% drop", env)
+	}
+	if st := hook.Stats()[2]; st.Drops != 10 {
+		t.Fatalf("drop tally %d, want 10", st.Drops)
+	}
+
+	// Delay only: the frame arrives, late.
+	hook.SetDrop(0)
+	hook.SetDelayMax(30)
+	if err := a.Send(Envelope{To: 2, Type: "pong"}); err != nil {
+		t.Fatal(err)
+	}
+	if recv(2*time.Second) == nil {
+		t.Fatal("delayed frame never arrived")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"realisticfd/internal/model"
 )
@@ -36,6 +37,7 @@ type TCPNode struct {
 	links  map[model.ProcessID]*peerLink
 	open   map[net.Conn]bool // every live conn, dialed or accepted
 	cut    map[model.ProcessID]bool
+	hook   *FaultHook
 	closed bool
 
 	wg sync.WaitGroup
@@ -111,6 +113,23 @@ func (n *TCPNode) Cuts() []model.ProcessID {
 	return out
 }
 
+// SetFaultHook installs (or, with nil, removes) the seeded drop/delay
+// lottery applied to every outbound envelope — the live lowering of the
+// fault plan's loss axes. Install it before traffic starts so frame
+// indices count from zero.
+func (n *TCPNode) SetFaultHook(h *FaultHook) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hook = h
+}
+
+// FaultHook returns the installed hook, or nil.
+func (n *TCPNode) FaultHook() *FaultHook {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hook
+}
+
 // Self implements Transport.
 func (n *TCPNode) Self() model.ProcessID { return n.self }
 
@@ -122,6 +141,29 @@ func (n *TCPNode) Recv() <-chan Envelope { return n.in }
 // peers look exactly like that); dialing errors for unregistered
 // peers are returned.
 func (n *TCPNode) Send(env Envelope) error {
+	n.mu.Lock()
+	hook := n.hook
+	n.mu.Unlock()
+	if hook != nil {
+		drop, delay := hook.Decide(env.To)
+		if drop {
+			return nil // seeded loss: the frame is gone
+		}
+		if delay > 0 {
+			// Re-send after the drawn latency, bypassing the hook so the
+			// frame is not judged twice. A node closed in the meantime
+			// just loses the frame, like any in-flight packet.
+			env := env
+			time.AfterFunc(delay, func() { _ = n.send(env) })
+			return nil
+		}
+	}
+	return n.send(env)
+}
+
+// send delivers one envelope past the fault hook: the dial-on-demand
+// path shared by immediate and delayed frames.
+func (n *TCPNode) send(env Envelope) error {
 	env.From = n.self
 	n.mu.Lock()
 	if n.closed {
